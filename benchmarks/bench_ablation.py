@@ -1,0 +1,108 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — static validation (Section 3.4) before every run: cheap enough to
+     keep on by default?
+A2 — Skolem identity keying: value-keyed Skolems (``Psup(SN)``)
+     deduplicate shared suppliers; keying by the whole brochure
+     (``Psup(Pbr, SN)``) disables sharing. Measures the cost/size
+     impact of the paper's "explicit Skolem functions" design.
+A3 — targeted evaluation (future work): materializing one queried
+     functor vs. everything, on a program with several outputs.
+"""
+
+import pytest
+
+from repro.workloads import brochure_trees
+from repro.yatl.parser import parse_program
+
+# --- A1: validation overhead -------------------------------------------------
+
+
+@pytest.mark.parametrize("validate", [True, False], ids=["validate", "no-validate"])
+def test_ablation_validation(benchmark, brochures_program, validate):
+    inputs = brochure_trees(50, distinct_suppliers=10)
+    result = benchmark(brochures_program.run, inputs, validate=validate)
+    assert result.ids_of("Pcar")
+
+
+# --- A2: Skolem keying -------------------------------------------------------
+
+SHARED = """
+program Shared
+rule R:
+  Psup(SN) : class -> supplier -> SN
+<=
+  Pbr : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                   -> desc -> D,
+                   -> spplrs *-> supplier < -> name -> SN, -> address -> A > >
+end
+"""
+
+UNSHARED = """
+program Unshared
+rule R:
+  Psup(Num, SN) : class -> supplier -> SN
+<=
+  Pbr : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                   -> desc -> D,
+                   -> spplrs *-> supplier < -> name -> SN, -> address -> A > >
+end
+"""
+
+
+def test_ablation_skolem_sharing_semantics():
+    inputs = brochure_trees(50, distinct_suppliers=5)
+    shared = parse_program(SHARED).run(inputs)
+    unshared = parse_program(UNSHARED).run(inputs)
+    assert len(shared.ids_of("Psup")) == 5
+    assert len(unshared.ids_of("Psup")) == 100  # 50 brochures x 2 suppliers
+
+
+@pytest.mark.parametrize("text", [SHARED, UNSHARED], ids=["shared", "unshared"])
+def test_ablation_skolem_keying(benchmark, text):
+    program = parse_program(text)
+    inputs = brochure_trees(100, distinct_suppliers=5)
+    result = benchmark(program.run, inputs)
+    assert result.ids_of("Psup")
+
+
+# --- A3: targeted evaluation ---------------------------------------------------
+
+MULTI_OUTPUT = """
+program Multi
+rule Cars:
+  Pcar(Pbr) :
+    class -> car < -> name -> T, -> suppliers -> set {}-> &Psup(SN) >
+<=
+  Pbr : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                   -> desc -> D,
+                   -> spplrs *-> supplier < -> name -> SN, -> address -> A > >
+rule Sups:
+  Psup(SN) :
+    class -> supplier < -> name -> SN, -> city -> C >
+<=
+  Pbr : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                   -> desc -> D,
+                   -> spplrs *-> supplier < -> name -> SN, -> address -> A > >,
+  C is city(A)
+rule Stats:
+  Pstats(Pbr) :
+    stats < -> title -> T, -> year -> Y, {}-> entry < -> n -> SN, -> a -> A > >
+<=
+  Pbr : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                   -> desc -> D,
+                   -> spplrs *-> supplier < -> name -> SN, -> address -> A > >
+end
+"""
+
+
+@pytest.mark.parametrize(
+    "targets", [None, ["Psup"]], ids=["materialize-all", "query-Psup"]
+)
+def test_ablation_targeted_evaluation(benchmark, targets):
+    program = parse_program(MULTI_OUTPUT)
+    inputs = brochure_trees(200, distinct_suppliers=20)
+    result = benchmark(program.run, inputs, target_functors=targets)
+    assert result.ids_of("Psup")
+    if targets is not None:
+        assert not result.ids_of("Pstats")

@@ -1,0 +1,49 @@
+"""Experiment F1 — Figure 1: the full translation scenario.
+
+Relational + SGML sources → ODMG object base → HTML pages, through the
+system facade, at N ∈ {10, 100, 1000} brochures. The paper presents the
+scenario qualitatively; we verify the pipeline produces one object per
+brochure plus shared suppliers, one page per object, and measure
+end-to-end throughput.
+"""
+
+import pytest
+
+from repro import YatSystem
+from repro.objectdb import car_dealer_schema
+from repro.sgml import brochure_dtd
+from repro.workloads import brochure_elements
+
+SIZES = [10, 100, 1000]
+
+
+def run_scenario(system, documents):
+    to_odmg = system.import_program("SgmlBrochuresToOdmg")
+    objects = system.translate_to_objects(
+        to_odmg, car_dealer_schema(),
+        sgml_documents=documents, dtd=brochure_dtd(),
+    )
+    web = system.import_program("O2Web")
+    return objects, system.publish_to_html(web, objects)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return YatSystem()
+
+
+def test_scenario_shape(system):
+    """The qualitative content of Figure 1."""
+    documents = brochure_elements(10, distinct_suppliers=4)
+    objects, pages = run_scenario(system, documents)
+    assert len(objects.extent("car")) == 10
+    assert len(objects.extent("supplier")) == 4
+    assert len(pages) == 14
+    assert all(text.startswith("<!DOCTYPE html>") for text in pages.values())
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig1_end_to_end(benchmark, system, size):
+    documents = brochure_elements(size, distinct_suppliers=max(2, size // 5))
+    objects, pages = benchmark(run_scenario, system, documents)
+    assert len(pages) == size + max(2, size // 5)

@@ -1,0 +1,60 @@
+"""Experiment F2 — Figure 2: model instantiation across levels.
+
+Checks and measures the instantiation tower Golf ⊑ Car Schema ⊑ ODMG ⊑
+Yat, plus instantiation checking of ground data of growing size against
+each level (the cost of optional typing at increasing specificity).
+"""
+
+import pytest
+
+from repro.core.instantiation import model_is_instance, tree_is_instance
+from repro.core.models import car_schema_model, odmg_model, yat_model
+from repro.wrappers import OdmgImportWrapper
+from repro.workloads import car_object_store
+
+
+def test_fig2_tower_holds():
+    yat, odmg, car = yat_model(), odmg_model(), car_schema_model()
+    assert odmg.is_instance_of(yat)
+    assert car.is_instance_of(odmg)
+    assert car.is_instance_of(yat)
+    assert not yat.is_instance_of(odmg)
+    assert not odmg.is_instance_of(car)
+
+
+@pytest.mark.parametrize(
+    "instance_factory,source_factory",
+    [
+        (odmg_model, yat_model),
+        (car_schema_model, odmg_model),
+        (car_schema_model, yat_model),
+    ],
+    ids=["ODMG<Yat", "CarSchema<ODMG", "CarSchema<Yat"],
+)
+def test_fig2_model_check(benchmark, instance_factory, source_factory):
+    instance, source = instance_factory(), source_factory()
+    assert benchmark(model_is_instance, instance, source)
+
+
+@pytest.mark.parametrize("cars", [10, 100])
+@pytest.mark.parametrize(
+    "level", ["Yat", "ODMG", "CarSchema"],
+)
+def test_fig2_ground_data_check(benchmark, cars, level):
+    """Checking the (scaled) Golf database against each model level."""
+    store = OdmgImportWrapper().to_store(car_object_store(cars, cars // 2 or 1))
+    factory = {
+        "Yat": yat_model, "ODMG": odmg_model, "CarSchema": car_schema_model
+    }[level]
+    model = factory()
+    pattern = model.patterns()[0]
+
+    def check_all():
+        return all(
+            tree_is_instance(node, pattern, model=model, store=store)
+            for _, node in store
+            if str(node.label) == "class" and level != "CarSchema"
+            or str(node.children[0].label) == "car"
+        )
+
+    assert benchmark(check_all)

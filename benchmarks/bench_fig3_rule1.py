@@ -1,0 +1,74 @@
+"""Experiment F3 — Figure 3: applying Rule 1 on SGML brochures.
+
+First reproduces the exact worked example (two brochures, the shared
+"VW center" supplier collapsing into s1), then sweeps brochure count
+and duplicate-supplier ratio: the Skolem table is what deduplicates
+suppliers, so the number of output objects tracks the distinct-name
+count, not the brochure count.
+"""
+
+import pytest
+
+from repro.core import tree, atom
+from repro.workloads import brochure_trees
+from tests.conftest import make_brochure
+
+
+def test_fig3_exact_example(brochures_program):
+    b1 = make_brochure(1, "Golf", 1995, "A great car",
+                       [("VW center", "Bd Lenoir, Paris 75005")])
+    b2 = make_brochure(2, "Golf", 1997, "A great car",
+                       [("VW2", "Bd Leblanc, Lyon 69001"),
+                        ("VW center", "Bd Lenoir, Paris 75005")])
+    result = brochures_program.run([b1, b2])
+    assert result.ids_of("Psup") == ["s1", "s2"]
+    assert result.skolems.key_of("s1") == ("Psup", ("VW center",))
+    assert result.skolems.key_of("s2") == ("Psup", ("VW2",))
+    s1 = result.tree("s1")
+    assert s1 == tree("class", tree("supplier",
+                                    tree("name", atom("VW center")),
+                                    tree("city", atom("Paris")),
+                                    tree("zip", atom(75005))))
+
+
+@pytest.mark.parametrize("count", [10, 100, 500])
+def test_fig3_throughput(benchmark, brochures_program, count):
+    inputs = brochure_trees(count, distinct_suppliers=max(2, count // 5))
+    result = benchmark(brochures_program.run, inputs)
+    assert len(result.ids_of("Pcar")) == count
+    assert len(result.ids_of("Psup")) == max(2, count // 5)
+
+
+def _distinct_names(inputs):
+    from repro.core.labels import Symbol
+
+    names = set()
+    for brochure in inputs:
+        for supplier in brochure.find_all(Symbol("supplier")):
+            names.add(supplier.children[0].children[0].label)
+    return names
+
+
+@pytest.mark.parametrize("distinct", [2, 10, 50])
+def test_fig3_skolem_sharing(benchmark, brochures_program, distinct):
+    """100 brochures, varying how many distinct suppliers they share:
+    output object count equals the distinct-name count (Skolem dedup),
+    never the raw supplier-occurrence count (200)."""
+    inputs = brochure_trees(100, distinct_suppliers=distinct)
+    result = benchmark(brochures_program.run, inputs)
+    assert len(result.ids_of("Psup")) == len(_distinct_names(inputs))
+
+
+@pytest.mark.parametrize("old_ratio", [0.0, 0.5])
+def test_fig3_predicate_selectivity(benchmark, brochures_program, old_ratio):
+    """Year > 1975 filters bindings before Skolem evaluation: with half
+    the brochures too old, fewer supplier objects are created than the
+    distinct names appearing in the input."""
+    inputs = brochure_trees(100, distinct_suppliers=100, old_ratio=old_ratio,
+                            suppliers_per_brochure=1)
+    result = benchmark(brochures_program.run, inputs)
+    distinct = len(_distinct_names(inputs))
+    if old_ratio == 0.0:
+        assert len(result.ids_of("Psup")) == distinct
+    else:
+        assert len(result.ids_of("Psup")) < distinct

@@ -1,0 +1,50 @@
+"""Experiment F5 — Figure 5 / Section 4.1: the O2Web program.
+
+The generic ODMG → HTML program on object graphs of growing size and on
+deeply nested values (safe recursion on HtmlElement), plus the page
+generation rate through the HTML export wrapper.
+"""
+
+import pytest
+
+from repro.wrappers import HtmlExportWrapper, OdmgImportWrapper
+from repro.workloads import car_object_store, deep_object_store
+
+
+def test_fig5_page_structure(web_program):
+    objects = car_object_store(cars=2, suppliers=2)
+    store = OdmgImportWrapper().to_store(objects)
+    result = web_program.run(store)
+    pages = HtmlExportWrapper().export_result(result)
+    assert len(pages) == 4
+    car_pages = [p for p in pages.values() if "<title>car" in p]
+    assert car_pages and all("<a href=" in p for p in car_pages)
+
+
+@pytest.mark.parametrize("cars", [5, 50, 200])
+def test_fig5_object_graphs(benchmark, web_program, cars):
+    objects = car_object_store(cars=cars, suppliers=max(2, cars // 4))
+    store = OdmgImportWrapper().to_store(objects)
+    result = benchmark(web_program.run, store)
+    assert len(result.ids_of("HtmlPage")) == len(store)
+
+
+@pytest.mark.parametrize("depth", [2, 5, 8])
+def test_fig5_safe_recursion_depth(benchmark, web_program, depth):
+    """HtmlElement recursion over nested collections: the demand-driven
+    evaluation must follow the structure down to the leaves."""
+    objects = deep_object_store(depth=depth, fanout=2)
+    store = OdmgImportWrapper().to_store(objects)
+    result = benchmark(web_program.run, store)
+    page = result.store.materialize(result.ids_of("HtmlPage")[0])
+    assert page.depth() > depth  # the page nests at least as deep
+
+
+@pytest.mark.parametrize("cars", [20, 100])
+def test_fig5_export_rate(benchmark, web_program, cars):
+    objects = car_object_store(cars=cars, suppliers=max(2, cars // 4))
+    store = OdmgImportWrapper().to_store(objects)
+    result = web_program.run(store)
+    wrapper = HtmlExportWrapper()
+    pages = benchmark(wrapper.export_result, result)
+    assert len(pages) == len(store)

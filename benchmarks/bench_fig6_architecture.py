@@ -1,0 +1,71 @@
+"""Experiment F6 — Figure 6: the system architecture.
+
+Measures the cost of each architectural stage separately — import
+wrappers, type checking (on demand), the interpreter, export wrappers,
+the program library — so the interpreter can be seen to dominate,
+wrappers and typing staying cheap as the paper's architecture intends.
+"""
+
+import pytest
+
+from repro import YatSystem
+from repro.objectdb import car_dealer_schema
+from repro.sgml import brochure_dtd
+from repro.wrappers import OdmgExportWrapper, SgmlImportWrapper
+from repro.workloads import brochure_elements
+
+N = 200
+
+
+@pytest.fixture(scope="module")
+def system():
+    return YatSystem()
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return brochure_elements(N, distinct_suppliers=N // 5)
+
+
+@pytest.fixture(scope="module")
+def imported(documents):
+    return SgmlImportWrapper(dtd=brochure_dtd()).to_store(documents)
+
+
+def test_fig6_stage_import(benchmark, documents):
+    wrapper = SgmlImportWrapper(dtd=brochure_dtd())
+    store = benchmark(wrapper.to_store, documents)
+    assert len(store) == N
+
+
+def test_fig6_stage_type_check(benchmark, system):
+    program = system.import_program("SgmlBrochuresToOdmg")
+
+    def check():
+        program.validate()
+        return program.signature()
+
+    signature = benchmark(check)
+    assert signature.input_model.pattern_names() == ["Pbr"]
+
+
+def test_fig6_stage_interpreter(benchmark, system, imported):
+    program = system.import_program("SgmlBrochuresToOdmg")
+    result = benchmark(program.run, imported)
+    assert len(result.ids_of("Pcar")) == N
+
+
+def test_fig6_stage_export(benchmark, system, imported):
+    program = system.import_program("SgmlBrochuresToOdmg")
+    result = program.run(imported)
+    wrapper = OdmgExportWrapper(car_dealer_schema())
+    objects = benchmark(wrapper.from_store, result.store)
+    assert len(objects.extent("car")) == N
+
+
+def test_fig6_stage_library(benchmark, system):
+    def load():
+        return system.import_program("O2Web")
+
+    program = benchmark(load)
+    assert program.rule_names() == [f"Web{i}" for i in range(1, 7)]

@@ -1,0 +1,86 @@
+"""Experiment C3 — Section 3.4: detecting cyclic programs.
+
+Static analysis cost on programs of growing size: acyclic chains,
+safe-recursive programs (accepted), and truly cyclic programs
+(rejected). The analysis is the entry gate of every run, so it must
+stay linear-ish in the program size.
+"""
+
+import pytest
+
+from repro.errors import CyclicProgramError
+from repro.yatl.cycles import analyze_cycles, check_cycles
+from repro.yatl.parser import parse_program
+
+
+def chain_program(length):
+    """F0 derefs F1 derefs F2 ... (acyclic chain of length rules)."""
+    lines = ["program Chain"]
+    for index in range(length):
+        target = f"F{index + 1}(X)" if index + 1 < length else '"leaf"'
+        lines.append(f"rule R{index}:")
+        lines.append(f"  F{index}(P) : wrap -> {target}")
+        lines.append("<=")
+        lines.append(f"  P : a{index} -> ^X")
+        lines.append("")
+    lines.append("end")
+    return parse_program("\n".join(lines))
+
+
+def recursive_program(width):
+    """width safe-recursive functors, each recursing on subtrees."""
+    lines = ["program Recursive"]
+    for index in range(width):
+        lines.append(f"rule R{index}:")
+        lines.append(f"  F{index}(P) : wrap *-> F{index}(X)")
+        lines.append("<=")
+        lines.append(f"  P : list{index} < *-> ^X >")
+        lines.append("")
+    lines.append("end")
+    return parse_program("\n".join(lines))
+
+
+def cyclic_program():
+    return parse_program(
+        """
+        program Cyclic
+        rule A:
+          F(P) : wrap -> G(P)
+        <=
+          P : a -> ^X
+        rule B:
+          G(P) : wrap -> F(P)
+        <=
+          P : a -> ^X
+        end
+        """
+    )
+
+
+def test_sec34_verdicts():
+    assert analyze_cycles(chain_program(5).rules).is_acceptable
+    report = analyze_cycles(recursive_program(5).rules)
+    assert report.cycles and report.is_acceptable
+    assert not analyze_cycles(cyclic_program().rules).is_acceptable
+    with pytest.raises(CyclicProgramError):
+        check_cycles(cyclic_program().rules)
+
+
+@pytest.mark.parametrize("size", [10, 50, 200])
+def test_sec34_acyclic_analysis(benchmark, size):
+    program = chain_program(size)
+    report = benchmark(analyze_cycles, program.rules)
+    assert report.is_acceptable and not report.cycles
+
+
+@pytest.mark.parametrize("size", [10, 50, 200])
+def test_sec34_safe_recursive_analysis(benchmark, size):
+    program = recursive_program(size)
+    report = benchmark(analyze_cycles, program.rules)
+    assert report.is_acceptable and len(report.cycles) == size
+
+
+def test_sec34_rejection_cost(benchmark):
+    program = cyclic_program()
+    report = benchmark(analyze_cycles, program.rules)
+    assert not report.is_acceptable

@@ -1,0 +1,67 @@
+"""Experiment C4 — Section 3.5: optional typing.
+
+"It is important to understand that typing in YAT is in no way
+constraining. Programs do not need it to be executed."
+
+Measures: signature inference cost, the static model checks, and the
+run-time overhead of the unconverted-input tracking (runtime_typing on
+vs. off) — typing must be cheap enough to be "called on demand".
+"""
+
+import pytest
+
+from repro.core.models import odmg_model, sgml_model, yat_model
+from repro.workloads import brochure_trees
+from repro.yatl.typing import (
+    check_input_against,
+    check_output_against,
+    infer_signature,
+)
+
+
+def test_sec35_signature_content(brochures_program):
+    signature = brochures_program.signature()
+    assert signature.input_model.pattern_names() == ["Pbr"]
+    assert set(signature.output_model.pattern_names()) == {"Pcar", "Psup"}
+
+
+def test_sec35_inference_cost(benchmark, brochures_program, web_program):
+    def infer_both():
+        infer_signature(brochures_program.rules, brochures_program.registry)
+        return infer_signature(web_program.rules, web_program.registry)
+
+    signature = benchmark(infer_both)
+    assert "HtmlPage" in signature.output_model.pattern_names()
+
+
+def test_sec35_model_checks(benchmark, brochures_program):
+    signature = brochures_program.signature()
+
+    def checks():
+        check_input_against(signature, sgml_model())
+        check_output_against(signature, odmg_model())
+        check_output_against(signature, yat_model())
+
+    benchmark(checks)
+
+
+@pytest.mark.parametrize("runtime_typing", [False, True],
+                         ids=["typing-off", "typing-on"])
+def test_sec35_runtime_overhead(benchmark, brochures_program, runtime_typing):
+    """Run-time typing on matched inputs: pure bookkeeping overhead."""
+    inputs = brochure_trees(100, distinct_suppliers=20)
+    result = benchmark(
+        brochures_program.run, inputs, runtime_typing=runtime_typing
+    )
+    assert not result.unconverted
+
+
+def test_sec35_untyped_programs_still_run(brochures_program):
+    """Unmatched data is skipped silently without runtime typing."""
+    from repro.core.trees import atom, tree
+
+    stray = tree("unrelated", atom(1))
+    inputs = brochure_trees(3) + [stray]
+    result = brochures_program.run(inputs)
+    assert result.unconverted == [stray]
+    assert len(result.ids_of("Pcar")) == 3

@@ -1,0 +1,86 @@
+"""Experiment C2 — Section 4.3: composition avoids intermediate work.
+
+"A first solution would be to apply successively the two programs.
+However, this would result in unnecessary processing, since the system
+would create intermediate ODMG patterns."
+
+The headline performance claim: the composed one-step program must beat
+the sequential two-step pipeline (which materializes the ODMG store),
+and the gap should persist across input sizes. The composition step
+itself is also measured (it is a one-off specification-time cost).
+"""
+
+import pytest
+
+from repro.workloads import brochure_trees
+
+SIZES = [10, 50, 200]
+
+
+@pytest.fixture(scope="module")
+def composed(brochures_program, web_program):
+    return brochures_program.composed_with(web_program, name="SgmlToHtml")
+
+
+def test_sec43_composition_correct(composed, brochures_program, web_program):
+    inputs = brochure_trees(10, distinct_suppliers=4)
+    intermediate = brochures_program.run(inputs)
+    sequential = web_program.run(intermediate.store)
+    direct = composed.run(inputs)
+
+    def pages(result):
+        return sorted(
+            str(result.store.materialize(i)) for i in result.ids_of("HtmlPage")
+        )
+
+    assert pages(sequential) == pages(direct)
+    # the composed program creates no intermediate ODMG patterns at all
+    assert not direct.ids_of("Pcar") and not direct.ids_of("Psup")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sec43_sequential(benchmark, brochures_program, web_program, size):
+    inputs = brochure_trees(size, distinct_suppliers=max(2, size // 5))
+
+    def two_step():
+        intermediate = brochures_program.run(inputs)
+        return web_program.run(intermediate.store)
+
+    result = benchmark(two_step)
+    assert result.ids_of("HtmlPage")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sec43_composed(benchmark, composed, size):
+    inputs = brochure_trees(size, distinct_suppliers=max(2, size // 5))
+    result = benchmark(composed.run, inputs)
+    assert result.ids_of("HtmlPage")
+
+
+def test_sec43_composition_cost(benchmark, brochures_program, web_program):
+    """Building the composed program (a specification-time operation)."""
+    composed = benchmark(
+        brochures_program.composed_with, web_program
+    )
+    assert len(composed.rules) == 2
+
+
+def test_sec43_composed_is_faster(composed, brochures_program, web_program):
+    """The claim itself, asserted with a direct timing comparison."""
+    import time
+
+    inputs = brochure_trees(200, distinct_suppliers=40)
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(3):
+            fn()
+        return time.perf_counter() - start
+
+    sequential = timed(
+        lambda: web_program.run(brochures_program.run(inputs).store)
+    )
+    direct = timed(lambda: composed.run(inputs))
+    print(f"\n[sec4.3] sequential={sequential:.3f}s composed={direct:.3f}s "
+          f"speedup={sequential / direct:.2f}x")
+    assert direct < sequential

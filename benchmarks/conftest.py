@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Each benchmark file regenerates one figure of the paper (or one
+measurable claim of the prose): it first asserts the *behaviour* the
+figure shows, then measures the performance dimension attached to it.
+EXPERIMENTS.md records the paper-claim vs. measured outcomes.
+"""
+
+import pytest
+
+from repro.library import o2web_program, sgml_brochures_to_odmg
+
+
+def report(title, rows):
+    """Print a small table alongside the benchmark results."""
+    print(f"\n[{title}]")
+    for row in rows:
+        print("   ", row)
+
+
+@pytest.fixture(scope="session")
+def brochures_program():
+    return sgml_brochures_to_odmg()
+
+
+@pytest.fixture(scope="session")
+def web_program():
+    return o2web_program()

@@ -1,0 +1,200 @@
+"""Command-line interface: stand-alone conversion executables.
+
+Section 5.1: "The runtime environment can be used independently or be
+linked to import/export wrappers to generate stand-alone executables
+(e.g. like LATEX2HTML). ... If the HTML output wrapper is used, the
+generated executable can be used as a CGI script."
+
+Usage::
+
+    python -m repro list
+    python -m repro show O2Web
+    python -m repro check my_program.yatl
+    python -m repro convert SgmlBrochuresToOdmg brochures.sgml
+    python -m repro convert my.yatl brochures.sgml --to html -o site/
+    python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
+
+Programs are named library programs or ``.yatl`` files; input documents
+are SGML files (one or several documents per file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .errors import YatError
+from .library.store import Library, standard_library
+from .sgml.parser import parse_sgml_many
+from .wrappers.html import HtmlExportWrapper
+from .wrappers.sgml import SgmlImportWrapper
+from .yatl.parser import parse_program
+from .yatl.printer import render_program
+from .yatl.program import Program
+
+
+def _load_program(spec: str, library: Library) -> Program:
+    """A program: a ``.yatl`` file path or a library program name."""
+    if spec.endswith(".yatl") or os.path.sep in spec:
+        with open(spec) as handle:
+            return parse_program(handle.read())
+    return library.load_program(spec)
+
+
+def _read_inputs(paths: List[str], coerce_numbers: bool):
+    documents = []
+    for path in paths:
+        with open(path) as handle:
+            documents.extend(parse_sgml_many(handle.read()))
+    wrapper = SgmlImportWrapper(coerce_numbers=coerce_numbers)
+    return wrapper.to_store(documents)
+
+
+def cmd_list(args, library: Library) -> int:
+    print("programs:")
+    for name in library.program_names():
+        print(f"  {name}")
+    print("models:")
+    for name in library.model_names():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_show(args, library: Library) -> int:
+    program = _load_program(args.program, library)
+    print(render_program(program))
+    return 0
+
+
+def cmd_check(args, library: Library) -> int:
+    program = _load_program(args.program, library)
+    report = program.analyze_cycles()
+    signature = program.signature()
+    print(f"program {program.name}: {len(program.rules)} rule(s)")
+    if report.cycles:
+        cycles = " / ".join("->".join(c) for c in report.cycles)
+        status = "safe-recursive" if report.is_acceptable else "REJECTED"
+        print(f"  dereference cycles: {cycles} ({status})")
+    else:
+        print("  dereference cycles: none")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    print(f"  input model : {', '.join(signature.input_model.pattern_names())}")
+    print(f"  output model: {', '.join(signature.output_model.pattern_names())}")
+    try:
+        program.check_models()
+    except YatError as exc:
+        print(f"  declared-model check failed: {exc}")
+        return 1
+    return 0 if report.is_acceptable else 1
+
+
+def _emit(result, out_dir: Optional[str], to: str) -> None:
+    if to == "html":
+        pages = HtmlExportWrapper().export_result(result)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            for url, text in pages.items():
+                with open(os.path.join(out_dir, url), "w") as handle:
+                    handle.write(text)
+            print(f"{len(pages)} page(s) written to {out_dir}/")
+        else:
+            for url, text in pages.items():
+                print(f"=== {url}")
+                print(text)
+    else:  # trees
+        for name, node in result.store:
+            print(f"=== {name}")
+            print(node)
+            print()
+    if result.warnings:
+        print(f"({len(result.warnings)} warning(s))", file=sys.stderr)
+        for warning in result.warnings:
+            print(f"  {warning}", file=sys.stderr)
+
+
+def cmd_convert(args, library: Library) -> int:
+    program = _load_program(args.program, library)
+    store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+    result = program.run(store, runtime_typing=args.runtime_typing)
+    _emit(result, args.output, args.to)
+    if result.unconverted:
+        print(f"({len(result.unconverted)} input(s) matched by no rule)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_pipeline(args, library: Library) -> int:
+    """The LATEX2HTML-style executable: SGML brochures straight to HTML
+    via the composed one-step program."""
+    to_odmg = library.load_program("SgmlBrochuresToOdmg")
+    web = library.load_program("O2Web")
+    composed = to_odmg.composed_with(web, name="SgmlToHtml")
+    store = _read_inputs(args.inputs, coerce_numbers=True)
+    result = composed.run(store)
+    _emit(result, args.output, "html")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="YAT: declarative data conversion (SIGMOD 1998 reproduction)",
+    )
+    parser.add_argument(
+        "--library", metavar="DIR",
+        help="program library directory (defaults to the built-in library)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list library programs and models")
+
+    show = sub.add_parser("show", help="print a program in YATL syntax")
+    show.add_argument("program")
+
+    check = sub.add_parser("check", help="static checks: cycles + signature")
+    check.add_argument("program")
+
+    convert = sub.add_parser("convert", help="run a conversion program")
+    convert.add_argument("program")
+    convert.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    convert.add_argument("--to", choices=["trees", "html"], default="trees")
+    convert.add_argument("-o", "--output", metavar="DIR",
+                         help="directory for HTML output")
+    convert.add_argument("--runtime-typing", action="store_true",
+                         help="raise on inputs matched by no rule (Section 3.5)")
+    convert.add_argument("--no-coerce", action="store_true",
+                         help="keep numeric-looking PCDATA as strings")
+
+    pipeline = sub.add_parser(
+        "pipeline", help="SGML brochures to HTML in one composed step"
+    )
+    pipeline.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    pipeline.add_argument("-o", "--output", metavar="DIR")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    library = (
+        Library(directory=args.library) if args.library else standard_library()
+    )
+    handlers = {
+        "list": cmd_list,
+        "show": cmd_show,
+        "check": cmd_check,
+        "convert": cmd_convert,
+        "pipeline": cmd_pipeline,
+    }
+    try:
+        return handlers[args.command](args, library)
+    except (YatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The YAT data model: trees, patterns, variables, models, instantiation.
+
+This package implements Section 2 of the paper. The most useful entry
+points are re-exported here::
+
+    from repro.core import tree, atom, sym, DataStore         # ground data
+    from repro.core import pnode, var, Pattern, Model         # patterns
+    from repro.core import is_instance, model_is_instance     # instantiation
+    from repro.core import parse_pattern_tree, parse_model    # textual syntax
+"""
+
+from .labels import Atom, Label, Symbol, atom_type_name, is_atom, is_symbol, label_repr
+from .variables import (
+    ANY,
+    ATOMIC,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    SYMBOL,
+    AnyDomain,
+    AtomTypeDomain,
+    Domain,
+    EnumDomain,
+    PatternVar,
+    SymbolDomain,
+    UnionDomain,
+    Var,
+    domain_by_name,
+    enum,
+    union_domain,
+)
+from .trees import DataStore, Ref, Tree, atom, render_tree, sym, tree
+from .patterns import (
+    GROUP,
+    INDEX,
+    ONE,
+    ORDER,
+    STAR,
+    NameTerm,
+    Pattern,
+    PChild,
+    PEdge,
+    PNameLeaf,
+    PNode,
+    PRefLeaf,
+    PVarLeaf,
+    collect_name_terms,
+    collect_variables,
+    edge_group,
+    edge_index,
+    edge_one,
+    edge_order,
+    edge_star,
+    is_ground,
+    name_leaf,
+    pnode,
+    pvar,
+    ref_leaf,
+    ref_var,
+    rename_variables,
+    render_pattern_tree,
+    var,
+    walk,
+    walk_edges,
+)
+from .instantiation import (
+    InstantiationContext,
+    check_instance,
+    check_model_instance,
+    is_instance,
+    model_is_instance,
+    pattern_to_tree,
+    tree_is_instance,
+    tree_to_pattern,
+)
+from .models import (
+    BUILTIN_MODELS,
+    Model,
+    builtin_model,
+    car_schema_model,
+    html_model,
+    odmg_model,
+    relational_model,
+    sgml_model,
+    yat_model,
+)
+from .syntax import (
+    Token,
+    TokenStream,
+    parse_model,
+    parse_pattern,
+    parse_pattern_tree,
+    resolve_pattern_names,
+    tokenize,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

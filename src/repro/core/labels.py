@@ -1,0 +1,143 @@
+"""Node labels of the YAT model.
+
+A YAT tree node is labeled by a *constant*: either a **symbol** (an
+interned name such as ``class``, ``car`` or ``suppliers``) or an **atom**
+(a piece of atomic data such as ``"Golf"`` or ``1995``). The distinction
+matters because the paper's variable domains may be restricted to symbols
+or to a given atomic type (Section 2: "constants can be either symbols
+(e.g., class, name) or atomic data (e.g., 'Golf', 1995)").
+
+Atoms are represented directly by the corresponding Python values
+(``str``, ``int``, ``float``, ``bool``); symbols get a dedicated interned
+:class:`Symbol` class so that ``Symbol("car") != "car"``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Symbol:
+    """An interned symbolic constant.
+
+    Two symbols with the same name are the *same object*, which makes
+    equality and hashing cheap during pattern matching::
+
+        >>> Symbol("car") is Symbol("car")
+        True
+        >>> Symbol("car") == "car"
+        False
+    """
+
+    __slots__ = ("name",)
+    _interned: dict = {}
+
+    def __new__(cls, name: str) -> "Symbol":
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"symbol name must be a non-empty string, got {name!r}")
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        sym = super().__new__(cls)
+        object.__setattr__(sym, "name", name)
+        cls._interned[name] = sym
+        return sym
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Symbol is immutable")
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash((Symbol, self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Symbol):
+            return self.name < other.name
+        return NotImplemented
+
+    def __reduce__(self):
+        # Preserve interning across pickling.
+        return (Symbol, (self.name,))
+
+
+#: Type of atomic data labels.
+Atom = Union[str, int, float, bool]
+
+#: Type of any constant label.
+Label = Union[Symbol, str, int, float, bool]
+
+ATOM_TYPES = (str, int, float, bool)
+
+
+def is_symbol(label: object) -> bool:
+    """Return True if *label* is a symbolic constant."""
+    return isinstance(label, Symbol)
+
+
+def is_atom(label: object) -> bool:
+    """Return True if *label* is atomic data (string, number or boolean)."""
+    return isinstance(label, ATOM_TYPES)
+
+
+def is_label(label: object) -> bool:
+    """Return True if *label* is a valid node label (symbol or atom)."""
+    return is_symbol(label) or is_atom(label)
+
+
+def atom_type_name(value: object) -> str:
+    """Return the YAT type name of an atom (``string``, ``int``, ...).
+
+    Raises :class:`TypeError` for non-atomic values.
+    """
+    # bool must be tested before int: bool is a subclass of int in Python.
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    raise TypeError(f"not an atom: {value!r}")
+
+
+def label_repr(label: object) -> str:
+    """Render a label in YAT textual syntax.
+
+    Symbols print bare (``car``), strings print quoted (``"Golf"``) and
+    numbers/booleans print as literals.
+    """
+    if isinstance(label, Symbol):
+        return label.name
+    if isinstance(label, bool):
+        return "true" if label else "false"
+    if isinstance(label, str):
+        escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(label)
+
+
+def label_sort_key(label: object) -> tuple:
+    """A total order over heterogeneous labels, used by ordering edges.
+
+    Labels are first grouped by kind (booleans, numbers, strings,
+    symbols), then ordered within the kind. This gives ordering edges a
+    deterministic result even on mixed collections.
+    """
+    if isinstance(label, bool):
+        return (0, label)
+    if isinstance(label, (int, float)):
+        return (1, label)
+    if isinstance(label, str):
+        return (2, label)
+    if isinstance(label, Symbol):
+        return (3, label.name)
+    return (4, str(label))

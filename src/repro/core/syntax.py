@@ -1,0 +1,613 @@
+"""Textual syntax for YAT patterns and models.
+
+The paper specifies YATL programs through a graphical editor; the
+programs the editor *generates* are what the interpreter executes. This
+module defines the concrete ASCII syntax this reproduction uses in place
+of the editor, covering patterns and models; rules and programs build on
+it in :mod:`repro.yatl.parser`.
+
+Pattern syntax (cf. end of Section 2)::
+
+    class -> supplier < -> name -> SN,
+                          -> city -> C,
+                          -> zip -> Z >
+
+* ``->`` plain edge, ``*->`` star edge, ``{}->`` grouping edge,
+  ``[SN]->`` ordering edge, ``(I)->`` index edge;
+* lowercase identifiers are symbols, quoted strings / numbers /
+  ``true``/``false`` are atoms;
+* uppercase identifiers are variables (``SN``), optionally typed
+  (``S1:string``, ``X:(set|bag)``); an uppercase *type* makes the leaf a
+  pattern variable (``P2:Ptype``), and ``^Data`` forces an untyped
+  pattern variable;
+* ``Name(Args)`` is a Skolem/pattern-name leaf, ``&Name(Args)`` a
+  reference; a bare uppercase leaf that names a declared pattern resolves
+  to that pattern (``Ptype`` inside the ODMG model).
+
+Model syntax::
+
+    model ODMG {
+      pattern Pclass = class -> Class_name:symbol *-> Att:symbol -> Ptype
+      pattern Ptype  = Y:(string|int|float|bool)
+                     | X:(set|bag|list|array) *-> Ptype
+                     | &Pclass
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import SyntaxYatError
+from .labels import Symbol
+from .models import Model
+from .patterns import (
+    NameTerm,
+    Pattern,
+    PChild,
+    PEdge,
+    PNameLeaf,
+    PNode,
+    PRefLeaf,
+    PVarLeaf,
+    edge_group,
+    edge_index,
+    edge_one,
+    edge_order,
+    edge_star,
+)
+from .variables import (
+    ANY,
+    Domain,
+    EnumDomain,
+    PatternVar,
+    Var,
+    domain_by_name,
+    union_domain,
+)
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+KEYWORDS = {
+    "rule",
+    "program",
+    "model",
+    "pattern",
+    "is",
+    "end",
+    "input",
+    "output",
+    "import",
+    "hierarchy",
+    "under",
+}
+
+BOOL_WORDS = {"true": True, "false": False}
+
+_PUNCT = [
+    # longest first
+    ("{}->", "GROUP_ARROW"),
+    ("*->", "STAR_ARROW"),
+    ("->", "ARROW"),
+    ("<=", "LE"),
+    (">=", "GE"),
+    ("!=", "NE"),
+    ("==", "EQ"),
+    ("<", "LT"),
+    (">", "GT"),
+    ("=", "EQ"),
+    ("&", "AMP"),
+    ("^", "CARET"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    (",", "COMMA"),
+    (":", "COLON"),
+    ("|", "PIPE"),
+    (";", "SEMI"),
+]
+
+
+class Token:
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_: str, value: object, line: int, column: int) -> None:
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn YAT/YATL source text into a token list (ending with EOF)."""
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def error(message: str) -> SyntaxYatError:
+        return SyntaxYatError(message, line, col)
+
+    while i < n:
+        ch = text[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated comment")
+            skipped = text[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # strings
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    escape = text[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(
+                        escape, escape
+                    ))
+                    j += 2
+                else:
+                    if text[j] == "\n":
+                        raise error("unterminated string literal")
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("STRING", "".join(buf), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # numbers (optionally negative)
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            raw = text[i:j]
+            if raw.count(".") > 1:
+                raise error(f"malformed number {raw!r}")
+            if "." in raw:
+                tokens.append(Token("FLOAT", float(raw), line, col))
+            else:
+                tokens.append(Token("INT", int(raw), line, col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in BOOL_WORDS:
+                tokens.append(Token("BOOL", BOOL_WORDS[word], line, col))
+            elif word in KEYWORDS:
+                tokens.append(Token(word.upper(), word, line, col))
+            elif word[0].isupper():
+                tokens.append(Token("UIDENT", word, line, col))
+            else:
+                tokens.append(Token("IDENT", word, line, col))
+            col += j - i
+            i = j
+            continue
+        # punctuation
+        for literal, type_ in _PUNCT:
+            if text.startswith(literal, i):
+                tokens.append(Token(type_, literal, line, col))
+                i += len(literal)
+                col += len(literal)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", None, line, col))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Token stream with lookahead / backtracking
+# ---------------------------------------------------------------------------
+
+
+class TokenStream:
+    """Cursor over a token list with save/restore for local lookahead."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self.tokens = list(tokens)
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.type != "EOF":
+            self.pos += 1
+        return token
+
+    def at(self, *types: str) -> bool:
+        return self.peek().type in types
+
+    def accept(self, *types: str) -> Optional[Token]:
+        if self.at(*types):
+            return self.next()
+        return None
+
+    def expect(self, *types: str) -> Token:
+        token = self.peek()
+        if token.type not in types:
+            raise SyntaxYatError(
+                f"expected {' or '.join(types)}, found {token.type} ({token.value!r})",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    def save(self) -> int:
+        return self.pos
+
+    def restore(self, mark: int) -> None:
+        self.pos = mark
+
+
+# ---------------------------------------------------------------------------
+# Pattern parser
+# ---------------------------------------------------------------------------
+
+EDGE_STARTERS = ("ARROW", "STAR_ARROW", "GROUP_ARROW", "LBRACKET", "LPAREN")
+
+
+def parse_edge_indicator(stream: TokenStream) -> Optional[Tuple[str, tuple, Optional[Var]]]:
+    """Try to parse an edge indicator; returns (kind, criteria, index_var)
+    or None (without consuming) if the next tokens are not an edge."""
+    token = stream.peek()
+    if token.type == "ARROW":
+        stream.next()
+        return ("one", (), None)
+    if token.type == "STAR_ARROW":
+        stream.next()
+        return ("star", (), None)
+    if token.type == "GROUP_ARROW":
+        stream.next()
+        return ("group", (), None)
+    if token.type == "LBRACKET":
+        mark = stream.save()
+        stream.next()
+        criteria: List[Var] = []
+        while True:
+            name = stream.accept("UIDENT")
+            if name is None:
+                stream.restore(mark)
+                return None
+            criteria.append(Var(name.value))
+            if stream.accept("COMMA"):
+                continue
+            break
+        if not stream.accept("RBRACKET") or not stream.accept("ARROW"):
+            stream.restore(mark)
+            return None
+        return ("order", tuple(criteria), None)
+    if token.type == "LPAREN":
+        # index edge: '(' UIDENT ')' '->'
+        if (
+            stream.peek(1).type == "UIDENT"
+            and stream.peek(2).type == "RPAREN"
+            and stream.peek(3).type == "ARROW"
+        ):
+            stream.next()
+            index_var = Var(stream.next().value)
+            stream.next()
+            stream.next()
+            return ("index", (), index_var)
+        return None
+    return None
+
+
+def _make_edge(kind: str, target: PChild, criteria: tuple, index_var: Optional[Var]) -> PEdge:
+    if kind == "one":
+        return edge_one(target)
+    if kind == "star":
+        return edge_star(target)
+    if kind == "group":
+        return edge_group(target)
+    if kind == "order":
+        return edge_order(target, *criteria)
+    return edge_index(target, index_var)
+
+
+def parse_domain(stream: TokenStream) -> Union[Domain, str]:
+    """Parse a domain annotation after ``:``.
+
+    Returns a :class:`Domain` for data-variable domains, or a string
+    (pattern name) when the domain is an uppercase identifier — the leaf
+    is then a pattern variable.
+    """
+    if stream.at("UIDENT"):
+        return stream.next().value
+    if stream.at("IDENT"):
+        token = stream.next()
+        try:
+            return domain_by_name(token.value)
+        except ValueError as exc:
+            raise SyntaxYatError(str(exc), token.line, token.column) from None
+    if stream.at("LPAREN"):
+        stream.next()
+        members: List[Domain] = []
+        symbols: List[Symbol] = []
+        while True:
+            token = stream.expect("IDENT")
+            try:
+                members.append(domain_by_name(token.value))
+            except ValueError:
+                symbols.append(Symbol(token.value))
+            if stream.accept("PIPE"):
+                continue
+            break
+        stream.expect("RPAREN")
+        if symbols:
+            members.append(EnumDomain(symbols))
+        return union_domain(members)
+    token = stream.peek()
+    raise SyntaxYatError(
+        f"expected a domain, found {token.value!r}", token.line, token.column
+    )
+
+
+def parse_name_args(stream: TokenStream) -> list:
+    """Parse ``( Arg, ... )`` after a pattern name; arguments are
+    variables or constants (constant Skolem arguments appear in
+    instantiated programs, Section 4.1)."""
+    args = []
+    stream.expect("LPAREN")
+    if not stream.at("RPAREN"):
+        while True:
+            token = stream.expect("UIDENT", "IDENT", "STRING", "INT", "FLOAT", "BOOL")
+            if token.type == "UIDENT":
+                args.append(Var(token.value))
+            elif token.type == "IDENT":
+                args.append(Symbol(token.value))
+            else:
+                args.append(token.value)
+            if not stream.accept("COMMA"):
+                break
+    stream.expect("RPAREN")
+    return args
+
+
+def parse_pattern_child(stream: TokenStream) -> PChild:
+    """Parse one pattern tree (node, leaf, reference, name term...)."""
+    token = stream.peek()
+
+    # reference leaf: '&' UIDENT [ '(' args ')' ]
+    if token.type == "AMP":
+        stream.next()
+        name = stream.expect("UIDENT").value
+        if stream.at("LPAREN") and not _looks_like_index_edge(stream):
+            args = parse_name_args(stream)
+            return PRefLeaf(NameTerm(name, args))
+        return PRefLeaf(NameTerm(name))
+
+    # explicit pattern variable leaf: '^' UIDENT [':' UIDENT]
+    if token.type == "CARET":
+        stream.next()
+        name = stream.expect("UIDENT").value
+        domain: Optional[str] = None
+        if stream.accept("COLON"):
+            parsed = parse_domain(stream)
+            if not isinstance(parsed, str):
+                raise SyntaxYatError(
+                    "pattern variables take pattern-name domains",
+                    token.line,
+                    token.column,
+                )
+            domain = parsed
+        return PVarLeaf(PatternVar(name, domain))
+
+    # atoms as labels
+    if token.type in ("STRING", "INT", "FLOAT", "BOOL"):
+        stream.next()
+        return _parse_node_tail(stream, token.value)
+
+    # lowercase identifier: a symbol label. Keywords double as symbols
+    # inside patterns (SGML elements may be named "model", "pattern"...).
+    if token.type == "IDENT" or (
+        isinstance(token.value, str) and token.value in KEYWORDS
+    ):
+        stream.next()
+        return _parse_node_tail(stream, Symbol(token.value))
+
+    if token.type == "UIDENT":
+        stream.next()
+        name = token.value
+        # Skolem / pattern-name leaf with arguments
+        if stream.at("LPAREN") and not _looks_like_index_edge(stream):
+            args = parse_name_args(stream)
+            return PNameLeaf(NameTerm(name, args))
+        # typed variable
+        if stream.at("COLON") and stream.peek(1).type in (
+            "IDENT",
+            "UIDENT",
+            "LPAREN",
+        ):
+            mark = stream.save()
+            stream.next()
+            domain = parse_domain(stream)
+            if isinstance(domain, str):
+                return PVarLeaf(PatternVar(name, domain))
+            return _parse_node_tail(stream, Var(name, domain))
+        # bare uppercase identifier: a data variable label (may be
+        # re-resolved into a pattern-name leaf later)
+        return _parse_node_tail(stream, Var(name))
+
+    raise SyntaxYatError(
+        f"expected a pattern, found {token.value!r}", token.line, token.column
+    )
+
+
+def _looks_like_index_edge(stream: TokenStream) -> bool:
+    return (
+        stream.peek().type == "LPAREN"
+        and stream.peek(1).type == "UIDENT"
+        and stream.peek(2).type == "RPAREN"
+        and stream.peek(3).type == "ARROW"
+    )
+
+
+def _parse_node_tail(stream: TokenStream, label) -> PChild:
+    """After a node label: either ``<`` edge-list ``>``, a single chained
+    edge, or nothing (leaf)."""
+    if stream.at("LT"):
+        stream.next()
+        edges: List[PEdge] = []
+        while True:
+            indicator = parse_edge_indicator(stream)
+            if indicator is None:
+                token = stream.peek()
+                raise SyntaxYatError(
+                    f"expected an edge, found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+            kind, criteria, index_var = indicator
+            target = parse_pattern_child(stream)
+            edges.append(_make_edge(kind, target, criteria, index_var))
+            if stream.accept("COMMA"):
+                continue
+            break
+        stream.expect("GT")
+        return PNode(label, edges)
+    indicator = parse_edge_indicator(stream)
+    if indicator is not None:
+        kind, criteria, index_var = indicator
+        target = parse_pattern_child(stream)
+        return PNode(label, [_make_edge(kind, target, criteria, index_var)])
+    return PNode(label, [])
+
+
+# ---------------------------------------------------------------------------
+# Name resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_pattern_names(node: PChild, known_names: Set[str]) -> PChild:
+    """Convert bare variable leaves that name declared patterns into
+    pattern-name (dereferencing) leaves.
+
+    The textual syntax cannot distinguish a data variable ``Ptype`` from
+    a reference to the pattern ``Ptype``; this pass resolves the
+    ambiguity using the set of declared pattern names, exactly like the
+    paper's typographic convention (bold = pattern name).
+    """
+    if isinstance(node, PNode):
+        if (
+            not node.edges
+            and isinstance(node.label, Var)
+            and node.label.name in known_names
+            and node.label.domain == ANY
+        ):
+            return PNameLeaf(NameTerm(node.label.name))
+        new_edges = [
+            edge.with_target(resolve_pattern_names(edge.target, known_names))
+            for edge in node.edges
+        ]
+        if new_edges == list(node.edges):
+            return node
+        return PNode(node.label, new_edges)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_pattern_tree(
+    text: str, known_names: Iterable[str] = ()
+) -> PChild:
+    """Parse a single pattern tree from text."""
+    stream = TokenStream(tokenize(text))
+    child = parse_pattern_child(stream)
+    stream.expect("EOF")
+    return resolve_pattern_names(child, set(known_names))
+
+
+def parse_pattern(text: str, known_names: Iterable[str] = ()) -> Pattern:
+    """Parse a named pattern: ``Name = tree | tree | ...``."""
+    stream = TokenStream(tokenize(text))
+    pattern = _parse_pattern_decl(stream, set(known_names))
+    stream.expect("EOF")
+    return pattern
+
+
+def _parse_pattern_decl(stream: TokenStream, known_names: Set[str]) -> Pattern:
+    name = stream.expect("UIDENT").value
+    stream.expect("EQ")
+    known = set(known_names) | {name}
+    alternatives = [resolve_pattern_names(parse_pattern_child(stream), known)]
+    while stream.accept("PIPE"):
+        alternatives.append(
+            resolve_pattern_names(parse_pattern_child(stream), known)
+        )
+    return Pattern(name, alternatives)
+
+
+def parse_model(text: str, known_names: Iterable[str] = ()) -> Model:
+    """Parse ``model Name { pattern N = ... ... }``."""
+    stream = TokenStream(tokenize(text))
+    model = parse_model_from(stream, set(known_names))
+    stream.expect("EOF")
+    return model
+
+
+def parse_model_from(stream: TokenStream, known_names: Set[str]) -> Model:
+    stream.expect("MODEL")
+    name = stream.expect("UIDENT", "IDENT").value
+    stream.expect("LBRACE")
+    # first pass: find the declared pattern names for forward references
+    mark = stream.save()
+    declared: Set[str] = set(known_names)
+    depth = 1
+    while depth > 0:
+        token = stream.next()
+        if token.type == "EOF":
+            raise SyntaxYatError("unterminated model block", token.line, token.column)
+        if token.type == "LBRACE":
+            depth += 1
+        elif token.type == "RBRACE":
+            depth -= 1
+        elif token.type == "PATTERN":
+            declared.add(stream.peek().value)
+    stream.restore(mark)
+    model = Model(name)
+    while stream.accept("PATTERN"):
+        model.add(_parse_pattern_decl(stream, declared))
+    stream.expect("RBRACE")
+    return model

@@ -1,0 +1,355 @@
+"""Variables and variable domains of the YAT model (Section 2).
+
+The paper distinguishes two kinds of variables:
+
+* **data variables** label nodes and are instantiated by constants
+  (symbols or atoms) or by other data variables with a smaller domain;
+* **pattern variables** stand for whole pattern trees and are
+  instantiated by patterns (ultimately by ground trees).
+
+Every data variable has a *domain*. The default domain is "the set of
+all data constants and variable names"; it can be restricted to atomic
+types (``string``, ``int``, ...), to symbols, to explicit enumerations,
+or to unions of those. Domains drive both instantiation checking
+(Section 2) and the optional typing of YATL (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from .labels import Label, Symbol, atom_type_name, is_atom, is_symbol, label_repr
+
+# ---------------------------------------------------------------------------
+# Domains
+# ---------------------------------------------------------------------------
+
+
+class Domain:
+    """Abstract domain of a data variable.
+
+    A domain answers two questions:
+
+    * :meth:`contains` — is this constant a member?
+    * :meth:`subset_of` — is this domain included in another one?
+      (variable-by-variable instantiation requires domain inclusion).
+    """
+
+    def contains(self, value: Label) -> bool:
+        raise NotImplementedError
+
+    def subset_of(self, other: "Domain") -> bool:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Domain in YAT textual syntax (e.g. ``(string|int)``)."""
+        raise NotImplementedError
+
+    def intersects(self, other: "Domain") -> bool:
+        """Could a constant belong to both domains? Used by the lenient
+        compatibility check of program composition (Section 4.3)."""
+        if isinstance(self, AnyDomain) or isinstance(other, AnyDomain):
+            return True
+        if self.subset_of(other) or other.subset_of(self):
+            return True
+        if isinstance(self, EnumDomain):
+            return any(other.contains(value) for value in self.values)
+        if isinstance(other, EnumDomain):
+            return any(self.contains(value) for value in other.values)
+        if isinstance(self, UnionDomain):
+            return any(member.intersects(other) for member in self.members)
+        if isinstance(other, UnionDomain):
+            return any(self.intersects(member) for member in other.members)
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.render()})"
+
+    def __or__(self, other: "Domain") -> "Domain":
+        return union_domain([self, other])
+
+
+class AnyDomain(Domain):
+    """The default domain: every constant belongs to it."""
+
+    _instance: Optional["AnyDomain"] = None
+
+    def __new__(cls) -> "AnyDomain":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def contains(self, value: Label) -> bool:
+        return is_symbol(value) or is_atom(value)
+
+    def subset_of(self, other: Domain) -> bool:
+        return isinstance(other, AnyDomain)
+
+    def render(self) -> str:
+        return "any"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnyDomain)
+
+    def __hash__(self) -> int:
+        return hash(AnyDomain)
+
+
+class AtomTypeDomain(Domain):
+    """All atoms of one primitive type: ``string``, ``int``, ``float``, ``bool``."""
+
+    NAMES = ("string", "int", "float", "bool")
+
+    __slots__ = ("type_name",)
+
+    def __init__(self, type_name: str) -> None:
+        if type_name not in self.NAMES:
+            raise ValueError(f"unknown atomic type {type_name!r}")
+        self.type_name = type_name
+
+    def contains(self, value: Label) -> bool:
+        if not is_atom(value):
+            return False
+        name = atom_type_name(value)
+        if self.type_name == "float" and name == "int":
+            # ints are acceptable where floats are expected
+            return True
+        return name == self.type_name
+
+    def subset_of(self, other: Domain) -> bool:
+        if isinstance(other, AnyDomain):
+            return True
+        if isinstance(other, AtomTypeDomain):
+            if other.type_name == self.type_name:
+                return True
+            return self.type_name == "int" and other.type_name == "float"
+        if isinstance(other, UnionDomain):
+            return any(self.subset_of(member) for member in other.members)
+        return False
+
+    def render(self) -> str:
+        return self.type_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomTypeDomain) and other.type_name == self.type_name
+
+    def __hash__(self) -> int:
+        return hash((AtomTypeDomain, self.type_name))
+
+
+class SymbolDomain(Domain):
+    """All symbolic constants."""
+
+    def contains(self, value: Label) -> bool:
+        return is_symbol(value)
+
+    def subset_of(self, other: Domain) -> bool:
+        if isinstance(other, (AnyDomain, SymbolDomain)):
+            return True
+        if isinstance(other, UnionDomain):
+            return any(self.subset_of(member) for member in other.members)
+        return False
+
+    def render(self) -> str:
+        return "symbol"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymbolDomain)
+
+    def __hash__(self) -> int:
+        return hash(SymbolDomain)
+
+
+class EnumDomain(Domain):
+    """An explicit, finite set of constants.
+
+    Used for label variables restricted to a few symbols, e.g. the
+    variable ``X`` of rule Web4 whose domain is ``(set | bag)``.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Label]) -> None:
+        vals = frozenset(values)
+        if not vals:
+            raise ValueError("enum domain may not be empty")
+        self.values: FrozenSet[Label] = vals
+
+    def contains(self, value: Label) -> bool:
+        return value in self.values
+
+    def subset_of(self, other: Domain) -> bool:
+        return all(other.contains(value) for value in self.values)
+
+    def render(self) -> str:
+        parts = sorted(label_repr(value) for value in self.values)
+        if len(parts) == 1:
+            return parts[0]
+        return "(" + "|".join(parts) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EnumDomain) and other.values == self.values
+
+    def __hash__(self) -> int:
+        return hash((EnumDomain, self.values))
+
+
+class UnionDomain(Domain):
+    """A union of other domains, e.g. ``(string | int | float | bool)``."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: Iterable[Domain]) -> None:
+        flat = []
+        for member in members:
+            if isinstance(member, UnionDomain):
+                flat.extend(member.members)
+            else:
+                flat.append(member)
+        if not flat:
+            raise ValueError("union domain may not be empty")
+        self.members: Tuple[Domain, ...] = tuple(flat)
+
+    def contains(self, value: Label) -> bool:
+        return any(member.contains(value) for member in self.members)
+
+    def subset_of(self, other: Domain) -> bool:
+        return all(member.subset_of(other) for member in self.members)
+
+    def render(self) -> str:
+        return "(" + "|".join(member.render() for member in self.members) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnionDomain) and set(other.members) == set(
+            self.members
+        )
+
+    def __hash__(self) -> int:
+        return hash((UnionDomain, frozenset(self.members)))
+
+
+ANY = AnyDomain()
+STRING = AtomTypeDomain("string")
+INT = AtomTypeDomain("int")
+FLOAT = AtomTypeDomain("float")
+BOOL = AtomTypeDomain("bool")
+SYMBOL = SymbolDomain()
+ATOMIC = UnionDomain([STRING, INT, FLOAT, BOOL])
+
+
+def union_domain(domains: Iterable[Domain]) -> Domain:
+    """Build the union of *domains*, simplifying the trivial cases."""
+    members = list(domains)
+    if any(isinstance(domain, AnyDomain) for domain in members):
+        return ANY
+    if len(members) == 1:
+        return members[0]
+    return UnionDomain(members)
+
+
+def enum(*values: Label) -> EnumDomain:
+    """Shorthand for an :class:`EnumDomain` of symbols and atoms.
+
+    Strings are treated as *symbol names* here since enum domains are
+    almost always used to restrict label variables to symbols::
+
+        enum("set", "bag")   # the domain of X in rule Web4
+    """
+    converted = [Symbol(v) if isinstance(v, str) else v for v in values]
+    return EnumDomain(converted)
+
+
+def domain_by_name(name: str) -> Domain:
+    """Resolve a textual domain name (``string``, ``any``, ``symbol``...)."""
+    table = {
+        "string": STRING,
+        "int": INT,
+        "float": FLOAT,
+        "bool": BOOL,
+        "char": STRING,  # the paper's ODMG model mentions char; map to string
+        "symbol": SYMBOL,
+        "any": ANY,
+        "atomic": ATOMIC,
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(f"unknown domain name {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Variables
+# ---------------------------------------------------------------------------
+
+
+class Var:
+    """A data variable with an optional restricted domain.
+
+    Variables are compared *by name*: within one rule, every occurrence
+    of ``SN`` denotes the same variable, which is how YATL expresses
+    joins across body patterns (Section 3.2).
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Domain = ANY) -> None:
+        if not name or not name[0].isupper() and name[0] != "_":
+            raise ValueError(
+                f"variable names start with an uppercase letter or '_': {name!r}"
+            )
+        self.name = name
+        self.domain = domain
+
+    def with_domain(self, domain: Domain) -> "Var":
+        return Var(self.name, domain)
+
+    def __repr__(self) -> str:
+        if isinstance(self.domain, AnyDomain):
+            return f"Var({self.name!r})"
+        return f"Var({self.name!r}, {self.domain.render()})"
+
+    def __str__(self) -> str:
+        if isinstance(self.domain, AnyDomain):
+            return self.name
+        return f"{self.name}:{self.domain.render()}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((Var, self.name))
+
+
+class PatternVar:
+    """A pattern variable, instantiated by whole trees.
+
+    ``domain_pattern`` optionally names the model pattern the variable
+    ranges over (the paper writes this ``P2 : Ptype``). ``None`` means
+    the variable may bind any tree (like ``Data`` in rule Web2).
+    """
+
+    __slots__ = ("name", "domain_pattern")
+
+    def __init__(self, name: str, domain_pattern: Optional[str] = None) -> None:
+        if not name or not name[0].isupper():
+            raise ValueError(
+                f"pattern variable names start with an uppercase letter: {name!r}"
+            )
+        self.name = name
+        self.domain_pattern = domain_pattern
+
+    def __repr__(self) -> str:
+        if self.domain_pattern is None:
+            return f"PatternVar({self.name!r})"
+        return f"PatternVar({self.name!r}, {self.domain_pattern!r})"
+
+    def __str__(self) -> str:
+        if self.domain_pattern is None:
+            return self.name
+        return f"{self.name}:{self.domain_pattern}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PatternVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((PatternVar, self.name))

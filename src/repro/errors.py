@@ -1,0 +1,96 @@
+"""Exception hierarchy for the YAT system.
+
+Every error raised by this package derives from :class:`YatError`, so
+applications embedding the converter can catch a single base class. The
+subclasses mirror the processing stages of the paper: model handling,
+YATL parsing, rule evaluation, typing, and wrapper I/O.
+"""
+
+from __future__ import annotations
+
+
+class YatError(Exception):
+    """Base class of all errors raised by the YAT system."""
+
+
+class ModelError(YatError):
+    """A model or pattern is malformed (e.g. a union inside a union)."""
+
+
+class InstantiationError(ModelError):
+    """An instantiation check failed where success was required."""
+
+
+class SyntaxYatError(YatError):
+    """Problem while lexing or parsing YATL textual syntax."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class EvaluationError(YatError):
+    """A rule or program could not be evaluated."""
+
+
+class NonDeterminismError(EvaluationError):
+    """The same Skolem identifier was associated to two distinct values.
+
+    Section 3.1 of the paper: "we accept potentially non-deterministic
+    programs and alert the user at run time when the same pattern name is
+    associated to two distinct values."
+    """
+
+    def __init__(self, skolem_key: str, message: str = "") -> None:
+        self.skolem_key = skolem_key
+        super().__init__(
+            message
+            or f"non-deterministic program: two distinct values for {skolem_key}"
+        )
+
+
+class DanglingReferenceError(EvaluationError):
+    """A reference (&) points to an identifier no rule produced."""
+
+
+class CyclicProgramError(EvaluationError):
+    """The program was rejected by the cycle detector of Section 3.4."""
+
+
+class UnconvertedDataError(EvaluationError):
+    """Raised by the Rule Exception mechanism of Section 3.5.
+
+    When run-time typing is on, input data matched by no conversion rule
+    triggers this error instead of being silently ignored.
+    """
+
+
+class TypingError(YatError):
+    """Static type checking (Section 3.5) failed."""
+
+
+class CompositionError(YatError):
+    """Two programs could not be composed (incompatible signatures)."""
+
+
+class CustomizationError(YatError):
+    """Program instantiation (Section 4.1) failed."""
+
+
+class FunctionError(EvaluationError):
+    """An external function or predicate is unknown or misbehaved."""
+
+
+class WrapperError(YatError):
+    """An import/export wrapper failed to translate data."""
+
+
+class SchemaError(YatError):
+    """A substrate schema (relational, ODMG, DTD) is invalid or violated."""
+
+
+class LibraryError(YatError):
+    """The program/model library could not save or load an item."""

@@ -1,0 +1,16 @@
+"""HTML substrate: small DOM + renderer for the export wrapper."""
+
+from .dom import HtmlElement, INLINE_ELEMENTS, Text, VOID_ELEMENTS, el, page
+from .render import escape, render, render_document
+
+__all__ = [
+    "HtmlElement",
+    "INLINE_ELEMENTS",
+    "Text",
+    "VOID_ELEMENTS",
+    "el",
+    "page",
+    "escape",
+    "render",
+    "render_document",
+]

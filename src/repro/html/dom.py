@@ -1,0 +1,104 @@
+"""A small HTML document model for the export wrapper (Figure 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import WrapperError
+
+Child = Union["HtmlElement", "Text"]
+
+#: Elements with no content and no end tag.
+VOID_ELEMENTS = frozenset(
+    {"br", "hr", "img", "input", "link", "meta", "area", "base", "col"}
+)
+
+#: Elements whose content stays inline when rendering.
+INLINE_ELEMENTS = frozenset(
+    {"a", "b", "i", "em", "strong", "span", "code", "title", "h1", "h2", "h3", "li"}
+)
+
+
+class Text:
+    """A text node (escaped at render time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = str(value)
+
+    def __repr__(self) -> str:
+        return f"Text({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and other.value == self.value
+
+
+class HtmlElement:
+    """An HTML element with attributes and ordered children."""
+
+    __slots__ = ("tag", "attrs", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        children: Sequence[Child] = (),
+    ) -> None:
+        if not tag or not tag.isalnum():
+            raise WrapperError(f"invalid HTML tag {tag!r}")
+        self.tag = tag.lower()
+        self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
+        self.children: List[Child] = list(children)
+        if self.tag in VOID_ELEMENTS and self.children:
+            raise WrapperError(f"void element <{tag}> cannot have children")
+
+    def append(self, child: Union[Child, str]) -> "HtmlElement":
+        if isinstance(child, str):
+            child = Text(child)
+        self.children.append(child)
+        return self
+
+    @property
+    def text(self) -> str:
+        parts: List[str] = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.value)
+            else:
+                parts.append(child.text)
+        return "".join(parts)
+
+    def walk(self) -> Iterator["HtmlElement"]:
+        yield self
+        for child in self.children:
+            if isinstance(child, HtmlElement):
+                yield from child.walk()
+
+    def find_all(self, tag: str) -> List["HtmlElement"]:
+        return [e for e in self.walk() if e.tag == tag]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HtmlElement)
+            and other.tag == self.tag
+            and other.attrs == self.attrs
+            and other.children == self.children
+        )
+
+    def __repr__(self) -> str:
+        return f"HtmlElement({self.tag!r}, {len(self.children)} child(ren))"
+
+
+def el(tag: str, *children: Union[Child, str], **attrs: str) -> HtmlElement:
+    """Convenience constructor: ``el("a", "here", href="x.html")``."""
+    node = HtmlElement(tag, attrs or None)
+    for child in children:
+        node.append(child)
+    return node
+
+
+def page(title: str, *body_children: Union[Child, str]) -> HtmlElement:
+    """A minimal page: ``html < head < title >, body < ... > >``."""
+    body = el("body", *body_children)
+    return el("html", el("head", el("title", title)), body)

@@ -1,0 +1,57 @@
+"""Rendering HTML documents to text, with proper escaping."""
+
+from __future__ import annotations
+
+
+from .dom import Child, HtmlElement, INLINE_ELEMENTS, Text, VOID_ELEMENTS
+
+
+def escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _render_attrs(element: HtmlElement) -> str:
+    if not element.attrs:
+        return ""
+    parts = [f'{name}="{escape(value)}"' for name, value in element.attrs.items()]
+    return " " + " ".join(parts)
+
+
+def render(node: Child, indent: int = 0, step: int = 2) -> str:
+    """Render a node; block elements indent, inline elements stay flat."""
+    pad = " " * indent
+    if isinstance(node, Text):
+        return pad + escape(node.value)
+    open_tag = f"<{node.tag}{_render_attrs(node)}>"
+    if node.tag in VOID_ELEMENTS:
+        return pad + open_tag
+    if node.tag in INLINE_ELEMENTS or all(
+        isinstance(c, Text) for c in node.children
+    ):
+        inner = "".join(_render_inline(c) for c in node.children)
+        return f"{pad}{open_tag}{inner}</{node.tag}>"
+    lines = [pad + open_tag]
+    for child in node.children:
+        lines.append(render(child, indent + step, step))
+    lines.append(f"{pad}</{node.tag}>")
+    return "\n".join(lines)
+
+
+def _render_inline(node: Child) -> str:
+    if isinstance(node, Text):
+        return escape(node.value)
+    open_tag = f"<{node.tag}{_render_attrs(node)}>"
+    if node.tag in VOID_ELEMENTS:
+        return open_tag
+    inner = "".join(_render_inline(c) for c in node.children)
+    return f"{open_tag}{inner}</{node.tag}>"
+
+
+def render_document(root: HtmlElement) -> str:
+    """A complete document with the doctype line."""
+    return "<!DOCTYPE html>\n" + render(root) + "\n"

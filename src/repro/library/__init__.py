@@ -1,0 +1,23 @@
+"""The library of programs and formats (Figure 6)."""
+
+from .programs import (
+    brochures_rule3_program,
+    matrix_transpose_program,
+    o2web_program,
+    relational_to_odmg,
+    sgml_brochures_to_odmg,
+    supplier_list_program,
+)
+from .store import Library, render_model, standard_library
+
+__all__ = [
+    "brochures_rule3_program",
+    "matrix_transpose_program",
+    "o2web_program",
+    "relational_to_odmg",
+    "sgml_brochures_to_odmg",
+    "supplier_list_program",
+    "Library",
+    "render_model",
+    "standard_library",
+]

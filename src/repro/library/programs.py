@@ -1,0 +1,322 @@
+"""Generic conversion programs shipped with the YAT system.
+
+Section 5.2: the prototype "provides ... some export/import wrappers
+(HTML, O2 database and OPAL specific data) and appropriate conversion
+programs". This module builds the reusable programs of the paper:
+
+* :func:`o2web_program` — the ODMG → HTML translation of Section 4.1
+  (rules Web1–Web6), emulating the O2Web system;
+* :func:`sgml_brochures_to_odmg` — rules 1 and 2 of Section 3.1 (and
+  the cyclic variant with Rule 1');
+* :func:`relational_to_odmg` — a generic relational → ODMG loader
+  (one class per table, keyed by primary key);
+* :func:`brochures_rule3_program` — the heterogeneous-join Rule 3 of
+  Section 3.2;
+* :func:`matrix_transpose_program` — Rule 5 of Section 3.3;
+* :func:`supplier_list_program` — Rule 4's ordered list of suppliers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.models import Model, html_model, odmg_model, relational_model, sgml_model
+from ..core.patterns import Pattern, var
+from ..core.variables import ATOMIC
+from ..yatl.functions import FunctionRegistry, standard_registry
+from ..yatl.parser import parse_program
+from ..yatl.program import Program
+
+
+def _web_registry() -> FunctionRegistry:
+    # att_label ships in the standard registry; a dedicated child
+    # registry keeps program-local additions possible.
+    return standard_registry()
+
+
+def _odmg_with_atoms() -> Model:
+    """The ODMG model extended with a ``Patomic`` pattern used to type
+    rule Web2's catch-all variable."""
+    model = odmg_model()
+    model.add(Pattern("Patomic", [var("Y", ATOMIC)]))
+    return model
+
+
+O2WEB_TEXT = """
+program O2Web
+
+rule Web1:
+  HtmlPage(Pobj) :
+    html < -> head -> title -> Classname,
+           -> body < -> h1 -> Classname,
+                      -> ul *-> li < -> L, -> HtmlElement(P2) > > >
+<=
+  Pobj : class -> Classname:symbol < *-> Att:symbol -> P2:Ptype >,
+  L is att_label(Att)
+
+rule Web2:
+  HtmlElement(Pval) : S
+<=
+  Pval : ^Data:Patomic,
+  S is data_to_string(Data)
+
+rule Web3:
+  HtmlElement(Ptup) :
+    ul *-> li < -> L, -> HtmlElement(P2) >
+<=
+  Ptup : tuple < *-> Field:symbol -> P2:Ptype >,
+  L is att_label(Field)
+
+rule Web4:
+  HtmlElement(Pcoll) :
+    ul *-> li -> HtmlElement(P2)
+<=
+  Pcoll : X:(set|bag) < *-> P2:Ptype >
+
+rule Web5:
+  HtmlElement(Pcoll) :
+    ol *-> li -> HtmlElement(P2)
+<=
+  Pcoll : X:(list|array) < *-> P2:Ptype >
+
+rule Web6:
+  HtmlElement(Pref) :
+    a < -> href -> &HtmlPage(Pobj),
+        -> cont -> Classname >
+<=
+  Pref : &Pobj,
+  Pobj : class -> Classname:symbol < *-> Att:symbol -> P2:Ptype >
+
+end
+"""
+
+
+def o2web_program() -> Program:
+    """The generic ODMG → HTML program of Section 4.1 (O2Web style).
+
+    An object becomes an HTML page (Web1), an atomic value a string
+    (Web2), a tuple or collection a list of items (Web3–Web5) and an
+    object reference an anchor (Web6). The program is safe-recursive:
+    ``HtmlElement`` recurses on subtrees of the input.
+    """
+    program = parse_program(O2WEB_TEXT, registry=_web_registry())
+    program.input_model = _odmg_with_atoms()
+    program.output_model = html_model()
+    return program
+
+
+BROCHURES_TEXT = """
+program SgmlBrochuresToOdmg
+
+rule Rule1:
+  Psup(SN) :
+    class -> supplier < -> name -> SN,
+                        -> city -> C,
+                        -> zip -> Z >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >,
+  Year > 1975,
+  C is city(Add),
+  Z is zip(Add)
+
+rule Rule2:
+  Pcar(Pbr) :
+    class -> car < -> name -> T,
+                   -> desc -> D,
+                   -> suppliers -> set {}-> &Psup(SN) >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >
+
+end
+"""
+
+BROCHURES_CYCLIC_TEXT = """
+program SgmlBrochuresToOdmgCyclic
+
+rule Rule1p:
+  Psup(SN) :
+    class -> supplier < -> name -> SN,
+                        -> city -> C,
+                        -> zip -> Z,
+                        -> sells -> set {}-> &Pcar(Pbr) >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >,
+  C is city(Add),
+  Z is zip(Add)
+
+rule Rule2:
+  Pcar(Pbr) :
+    class -> car < -> name -> T,
+                   -> desc -> D,
+                   -> suppliers -> set {}-> &Psup(SN) >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >
+
+end
+"""
+
+
+def sgml_brochures_to_odmg(cyclic: bool = False) -> Program:
+    """Rules 1 and 2 of Section 3.1: SGML brochures to car/supplier
+    objects. With ``cyclic=True``, Rule 1' replaces Rule 1 and suppliers
+    also reference the cars they sell (cyclic *data*, acyclic program —
+    the references keep the Skolem dependency graph acyclic)."""
+    text = BROCHURES_CYCLIC_TEXT if cyclic else BROCHURES_TEXT
+    program = parse_program(text)
+    program.input_model = sgml_model()
+    program.output_model = odmg_model()
+    return program
+
+
+RULE3_TEXT = """
+program HeterogeneousCars
+
+rule Rule3:
+  Pcar(Cid) :
+    class -> car < -> name -> T,
+                   -> desc -> D,
+                   -> suppliers -> set *-> &Psup(Sid) >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >,
+  Rsuppliers :
+    suppliers *-> row < -> sid -> Sid,
+                        -> name -> SN,
+                        -> city -> C,
+                        -> address -> Add2,
+                        -> tel -> Tel >,
+  Rcars :
+    cars *-> row < -> cid -> Cid,
+                   -> broch_num -> Num >,
+  sameaddress(Add, C, Add2)
+
+end
+"""
+
+
+def brochures_rule3_program() -> Program:
+    """Rule 3 of Section 3.2: join SGML brochures with the relational
+    suppliers/cars tables through the shared ``SN`` and ``Num``
+    variables, reconciling addresses with ``sameaddress``."""
+    program = parse_program(RULE3_TEXT)
+    return program
+
+
+TRANSPOSE_TEXT = """
+program MatrixTranspose
+
+rule Rule5:
+  New(Id) :
+    Mat [J]-> Y [I]-> X -> A
+<=
+  Id : Mat (I)-> X (J)-> Y -> A
+
+end
+"""
+
+
+def matrix_transpose_program() -> Program:
+    """Rule 5 of Section 3.3: transpose any input matrix, using index
+    edges to capture the original ordering (Figure 4)."""
+    return parse_program(TRANSPOSE_TEXT)
+
+
+RULE4_TEXT = """
+program SupplierList
+
+rule Rule4:
+  Sups() :
+    list [SN]-> &Psup(SN)
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN,
+                                         -> address -> Add > >
+
+end
+"""
+
+
+def supplier_list_program() -> Program:
+    """Rule 4 of Section 3.3: an ODMG list of supplier references,
+    grouped (duplicates removed) and ordered by name."""
+    return parse_program(RULE4_TEXT)
+
+
+def relational_to_odmg(
+    tables: Sequence[str],
+    keys: Optional[dict] = None,
+    class_names: Optional[dict] = None,
+) -> Program:
+    """A generic relational → ODMG loader: one class per table, one
+    object per row, each column becoming an attribute.
+
+    Objects are identified by the declared key column when ``keys``
+    provides one for the table (two rows sharing a key merge into one
+    object — or trigger the non-determinism alert if they disagree),
+    and by the whole row otherwise. This is the "generic conversion
+    program providing an ODMG view of relational data" the Section 1
+    scenario imports.
+    """
+    keys = keys or {}
+    class_names = class_names or {}
+    lines = ["program RelationalToOdmg", ""]
+    for table in tables:
+        class_name = class_names.get(table, table[:-1] if table.endswith("s") else table)
+        key = keys.get(table)
+        functor = f"Pobj_{table}"
+        row_var = f"Prow_{table}"
+        skolem = f"{functor}(K_{table})" if key else f"{functor}({row_var})"
+        lines.append(f"rule Load_{table}:")
+        lines.append(f"  {skolem} :")
+        lines.append(f"    class -> {class_name} < {{}}-> Col_{table} -> V_{table} >")
+        lines.append("<=")
+        lines.append(f"  Ptab_{table} :")
+        lines.append(f"    {table} *-> ^{row_var},")
+        lines.append(f"  {row_var} :")
+        lines.append(f"    row *-> Col_{table} -> V_{table}")
+        if key:
+            lines.append(f",  {row_var} :")
+            lines.append(
+                f"    row < *-> PreC_{table} -> PreV_{table},"
+                f" -> {key} -> K_{table},"
+                f" *-> PostC_{table} -> PostV_{table} >"
+            )
+        lines.append("")
+    lines.append("end")
+    program = parse_program("\n".join(lines))
+    program.input_model = relational_model()
+    program.output_model = odmg_model()
+    return program

@@ -1,0 +1,143 @@
+"""The program and model library (Figure 6, right-hand side).
+
+"The library allows to save and import programs and models." Programs
+and models serialize to their textual YATL syntax (the printer output is
+re-parseable), stored either in memory or under a directory with
+``.yatl`` / ``.yam`` files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..core.models import Model
+from ..core.patterns import render_pattern_tree
+from ..core.syntax import parse_model
+from ..errors import LibraryError
+from ..yatl.functions import FunctionRegistry
+from ..yatl.parser import parse_program
+from ..yatl.printer import render_program
+from ..yatl.program import Program
+
+PROGRAM_SUFFIX = ".yatl"
+MODEL_SUFFIX = ".yam"
+
+
+def render_model(model: Model) -> str:
+    """Serialize a model to the ``model Name { ... }`` syntax."""
+    lines = [f"model {model.name} {{"]
+    for pattern in model.patterns():
+        alternatives = [
+            render_pattern_tree(alt).replace("\n", "\n     ")
+            for alt in pattern.alternatives
+        ]
+        body = "\n   | ".join(alternatives)
+        lines.append(f"  pattern {pattern.name} = {body}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class Library:
+    """A named collection of saved programs and models.
+
+    With a ``directory``, items persist as files and are lazily loaded;
+    without one the library is purely in-memory.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        registry: Optional[FunctionRegistry] = None,
+    ) -> None:
+        self.directory = directory
+        self.registry = registry
+        self._programs: Dict[str, str] = {}
+        self._models: Dict[str, str] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._scan()
+
+    def _scan(self) -> None:
+        assert self.directory is not None
+        for filename in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, filename)
+            if filename.endswith(PROGRAM_SUFFIX):
+                with open(path) as handle:
+                    self._programs[filename[: -len(PROGRAM_SUFFIX)]] = handle.read()
+            elif filename.endswith(MODEL_SUFFIX):
+                with open(path) as handle:
+                    self._models[filename[: -len(MODEL_SUFFIX)]] = handle.read()
+
+    # -- programs ---------------------------------------------------------------
+
+    def save_program(self, program: Program, name: Optional[str] = None) -> str:
+        name = name or program.name
+        text = render_program(program)
+        self._programs[name] = text
+        if self.directory is not None:
+            path = os.path.join(self.directory, name + PROGRAM_SUFFIX)
+            with open(path, "w") as handle:
+                handle.write(text)
+        return name
+
+    def load_program(
+        self, name: str, models: Optional[Dict[str, Model]] = None
+    ) -> Program:
+        text = self._programs.get(name)
+        if text is None:
+            raise LibraryError(f"no saved program named {name!r}")
+        return parse_program(text, models=models, registry=self.registry)
+
+    def program_names(self) -> List[str]:
+        return sorted(self._programs)
+
+    # -- models -----------------------------------------------------------------
+
+    def save_model(self, model: Model, name: Optional[str] = None) -> str:
+        name = name or model.name
+        text = render_model(model)
+        self._models[name] = text
+        if self.directory is not None:
+            path = os.path.join(self.directory, name + MODEL_SUFFIX)
+            with open(path, "w") as handle:
+                handle.write(text)
+        return name
+
+    def load_model(self, name: str) -> Model:
+        text = self._models.get(name)
+        if text is None:
+            raise LibraryError(f"no saved model named {name!r}")
+        return parse_model(text)
+
+    def model_names(self) -> List[str]:
+        return sorted(self._models)
+
+    def __repr__(self) -> str:
+        return (
+            f"Library({len(self._programs)} program(s), "
+            f"{len(self._models)} model(s))"
+        )
+
+
+def standard_library(registry: Optional[FunctionRegistry] = None) -> Library:
+    """An in-memory library preloaded with the paper's generic programs
+    and the built-in models (the delivered "first stable version",
+    Section 5.2)."""
+    from ..core.models import BUILTIN_MODELS
+    from .programs import (
+        matrix_transpose_program,
+        o2web_program,
+        sgml_brochures_to_odmg,
+        supplier_list_program,
+    )
+
+    library = Library(registry=registry)
+    library.save_program(o2web_program())
+    library.save_program(sgml_brochures_to_odmg())
+    library.save_program(sgml_brochures_to_odmg(cyclic=True))
+    library.save_program(matrix_transpose_program())
+    library.save_program(supplier_list_program())
+    for name, factory in BUILTIN_MODELS.items():
+        library.save_model(factory(), name)
+    return library

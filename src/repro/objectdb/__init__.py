@@ -1,0 +1,25 @@
+"""ODMG-style object database substrate (the "O2" of Figure 1)."""
+
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AtomicType,
+    CollectionType,
+    OType,
+    RefType,
+    TupleType,
+    array_of,
+    bag_of,
+    list_of,
+    ref,
+    set_of,
+    tuple_of,
+)
+from .schema import ClassDef, ObjectSchema, car_dealer_schema
+from .store import ObjectInstance, ObjectStore, Oid
+from .odl import parse_odl, render_odl
+from .query import Query, QueryError, oql, parse_query
+
+__all__ = [name for name in dir() if not name.startswith("_")]

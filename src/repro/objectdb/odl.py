@@ -1,0 +1,158 @@
+"""An ODL-style schema language for the object substrate.
+
+The paper's scenario materializes into an O2/ODMG database whose schema
+would be written in ODL. This module parses a pragmatic subset::
+
+    class car {
+      attribute string name;
+      attribute string desc;
+      attribute set<ref<supplier>> suppliers;
+    };
+    class supplier {
+      attribute string name;
+      attribute string city;
+      attribute string zip;
+    };
+
+Types: ``string``/``int``/``float``/``bool``, ``ref<Class>``,
+``set<T>``/``bag<T>``/``list<T>``/``array<T>``, and
+``tuple<field: T, ...>``. The serializer :func:`render_odl` produces
+text this parser accepts (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..errors import SchemaError
+from .schema import ClassDef, ObjectSchema
+from .types import (
+    AtomicType,
+    CollectionType,
+    OType,
+    RefType,
+    TupleType,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<word>[A-Za-z_][A-Za-z0-9_]*)|(?P<punct>[{}<>;:,])|(?P<bad>\S))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.group("bad"):
+            raise SchemaError(f"ODL syntax: unexpected {match.group('bad')!r}")
+        tokens.append(match.group("word") or match.group("punct"))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def next(self) -> str:
+        token = self.peek()
+        if token:
+            self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise SchemaError(f"ODL syntax: expected {token!r}, found {found!r}")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def parse_odl(text: str, name: str = "schema") -> ObjectSchema:
+    """Parse ODL text into an :class:`ObjectSchema` (with reference
+    integrity checked)."""
+    cursor = _Cursor(_tokenize(text))
+    schema = ObjectSchema(name)
+    while not cursor.at_end():
+        schema.add(_parse_class(cursor))
+        if cursor.peek() == ";":
+            cursor.next()
+    if not schema.class_names():
+        raise SchemaError("ODL text declares no class")
+    schema.check_references()
+    return schema
+
+
+def _parse_class(cursor: _Cursor) -> ClassDef:
+    cursor.expect("class")
+    name = cursor.next()
+    if not name or not name[0].isalpha():
+        raise SchemaError(f"ODL syntax: invalid class name {name!r}")
+    cursor.expect("{")
+    attributes: List[Tuple[str, OType]] = []
+    while cursor.peek() != "}":
+        keyword = cursor.next()
+        if keyword not in ("attribute", "relationship"):
+            raise SchemaError(
+                f"ODL syntax: expected 'attribute' or 'relationship', "
+                f"found {keyword!r}"
+            )
+        otype = _parse_type(cursor)
+        attribute = cursor.next()
+        if not attribute:
+            raise SchemaError("ODL syntax: missing attribute name")
+        cursor.expect(";")
+        attributes.append((attribute, otype))
+    cursor.expect("}")
+    return ClassDef(name, attributes)
+
+
+def _parse_type(cursor: _Cursor) -> OType:
+    head = cursor.next()
+    if head in AtomicType.NAMES:
+        return AtomicType(head)
+    if head == "char":  # the paper's ODMG model mentions char
+        return AtomicType("string")
+    if head in CollectionType.KINDS:
+        cursor.expect("<")
+        element = _parse_type(cursor)
+        cursor.expect(">")
+        return CollectionType(head, element)
+    if head == "ref":
+        cursor.expect("<")
+        class_name = cursor.next()
+        cursor.expect(">")
+        return RefType(class_name)
+    if head == "tuple":
+        cursor.expect("<")
+        fields: List[Tuple[str, OType]] = []
+        while True:
+            field = cursor.next()
+            cursor.expect(":")
+            fields.append((field, _parse_type(cursor)))
+            if cursor.peek() == ",":
+                cursor.next()
+                continue
+            break
+        cursor.expect(">")
+        return TupleType(fields)
+    # a bare class name is shorthand for a reference
+    if head and head[0].isalpha():
+        return RefType(head)
+    raise SchemaError(f"ODL syntax: expected a type, found {head!r}")
+
+
+def render_odl(schema: ObjectSchema) -> str:
+    """Serialize a schema back to ODL text (re-parseable)."""
+    blocks = []
+    for cls in schema.classes():
+        lines = [f"class {cls.name} {{"]
+        for attribute, otype in cls.attributes:
+            lines.append(f"  attribute {otype.render()} {attribute};")
+        lines.append("};")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

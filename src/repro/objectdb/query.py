@@ -1,0 +1,321 @@
+"""A small OQL-style query engine over the object store.
+
+The paper's target database (O2) is queried with OQL; this module
+provides the subset the examples and tests use to inspect conversion
+output::
+
+    select c.name, s.city
+    from car c, supplier s
+    where s in c.suppliers and c.name != "Polo"
+    order by c.name
+
+Supported: multi-variable ``from`` over class extents, dotted path
+expressions with automatic reference dereferencing, comparison and
+membership predicates joined by ``and``, and ``order by``. Results are
+lists of tuples (one value per ``select`` item).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from .store import ObjectInstance, ObjectStore, Oid
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<op><=|>=|!=|=|<|>|\.|,|\*)
+      | (?P<bad>\S)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "in", "order", "by", "true", "false"}
+
+
+class QueryError(SchemaError):
+    """Malformed query text or evaluation failure."""
+
+
+def _tokenize(text: str):
+    tokens: List[Tuple[str, object]] = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.group("bad"):
+            raise QueryError(f"OQL syntax: unexpected {match.group('bad')!r}")
+        if match.group("string") is not None:
+            raw = match.group("string")[1:-1]
+            tokens.append(("lit", raw.replace('\\"', '"').replace("\\\\", "\\")))
+        elif match.group("number") is not None:
+            raw = match.group("number")
+            tokens.append(("lit", float(raw) if "." in raw else int(raw)))
+        else:
+            word = match.group("word") or match.group("op")
+            if word == "true":
+                tokens.append(("lit", True))
+            elif word == "false":
+                tokens.append(("lit", False))
+            elif word in _KEYWORDS:
+                tokens.append(("kw", word))
+            elif match.group("word"):
+                tokens.append(("name", word))
+            else:
+                tokens.append(("op", word))
+    return tokens
+
+
+class Path:
+    """A dotted path expression: variable followed by attribute steps."""
+
+    def __init__(self, var: str, steps: Sequence[str]) -> None:
+        self.var = var
+        self.steps = tuple(steps)
+
+    def __repr__(self) -> str:
+        return ".".join((self.var,) + self.steps)
+
+
+class Condition:
+    def __init__(self, left: object, op: str, right: object) -> None:
+        self.left = left
+        self.op = op
+        self.right = right
+
+
+class Query:
+    """A parsed query, evaluated against an :class:`ObjectStore`."""
+
+    def __init__(
+        self,
+        select: Sequence[Union[Path, str]],
+        sources: Sequence[Tuple[str, str]],
+        conditions: Sequence[Condition] = (),
+        order_by: Optional[Path] = None,
+    ) -> None:
+        self.select = list(select)
+        self.sources = list(sources)  # (class name, variable)
+        self.conditions = list(conditions)
+        self.order_by = order_by
+
+    # -- evaluation -----------------------------------------------------------
+
+    def run(self, store: ObjectStore) -> List[Tuple]:
+        variables = [var for _, var in self.sources]
+        if len(set(variables)) != len(variables):
+            raise QueryError("duplicate variables in 'from'")
+        rows: List[Tuple] = []
+        envs: List[Dict[str, ObjectInstance]] = [{}]
+        for class_name, var in self.sources:
+            extent = store.extent(class_name)
+            envs = [
+                {**env, var: instance} for env in envs for instance in extent
+            ]
+        for env in envs:
+            if all(self._holds(cond, env, store) for cond in self.conditions):
+                rows.append(tuple(
+                    self._value(item, env, store) for item in self.select
+                ))
+        if self.order_by is not None:
+            rows_with_keys = [
+                (self._path_value(self.order_by, env, store), row)
+                for env, row in self._kept_envs(store)
+            ]
+            rows_with_keys.sort(key=lambda pair: _sort_key(pair[0]))
+            rows = [row for _, row in rows_with_keys]
+        return rows
+
+    def _kept_envs(self, store: ObjectStore):
+        envs: List[Dict[str, ObjectInstance]] = [{}]
+        for class_name, var in self.sources:
+            extent = store.extent(class_name)
+            envs = [
+                {**env, var: instance} for env in envs for instance in extent
+            ]
+        for env in envs:
+            if all(self._holds(cond, env, store) for cond in self.conditions):
+                yield env, tuple(
+                    self._value(item, env, store) for item in self.select
+                )
+
+    def _value(self, item, env, store):
+        if isinstance(item, Path):
+            return self._path_value(item, env, store)
+        if item == "*":
+            return tuple(env[var].oid for _, var in self.sources)
+        raise QueryError(f"unknown select item {item!r}")
+
+    def _path_value(self, path: Path, env, store: ObjectStore):
+        if path.var not in env:
+            raise QueryError(f"unknown variable {path.var!r}")
+        current: object = env[path.var]
+        for step in path.steps:
+            if isinstance(current, Oid):
+                current = store.get(current)
+            if isinstance(current, ObjectInstance):
+                current = current.get(step)
+            elif isinstance(current, dict):
+                if step not in current:
+                    raise QueryError(f"tuple has no field {step!r}")
+                current = current[step]
+            else:
+                raise QueryError(
+                    f"cannot navigate {step!r} from {type(current).__name__}"
+                )
+        return current
+
+    def _operand(self, operand, env, store):
+        if isinstance(operand, Path):
+            return self._path_value(operand, env, store)
+        return operand
+
+    def _holds(self, cond: Condition, env, store) -> bool:
+        left = self._operand(cond.left, env, store)
+        right = self._operand(cond.right, env, store)
+        if cond.op == "in":
+            if isinstance(left, ObjectInstance):
+                left = left.oid
+            if not isinstance(right, (list, tuple)):
+                raise QueryError("'in' expects a collection on the right")
+            return left in right
+        left = left.oid if isinstance(left, ObjectInstance) else left
+        right = right.oid if isinstance(right, ObjectInstance) else right
+        if cond.op == "=":
+            return left == right
+        if cond.op == "!=":
+            return left != right
+        try:
+            if cond.op == "<":
+                return left < right  # type: ignore[operator]
+            if cond.op == "<=":
+                return left <= right  # type: ignore[operator]
+            if cond.op == ">":
+                return left > right  # type: ignore[operator]
+            if cond.op == ">=":
+                return left >= right  # type: ignore[operator]
+        except TypeError:
+            return False
+        raise QueryError(f"unknown operator {cond.op!r}")
+
+
+def _sort_key(value) -> Tuple:
+    if isinstance(value, bool):
+        return (0, value)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_query(text: str) -> Query:
+    tokens = _tokenize(text)
+    cursor = 0
+
+    def peek():
+        return tokens[cursor] if cursor < len(tokens) else ("eof", None)
+
+    def advance():
+        nonlocal cursor
+        token = peek()
+        cursor += 1
+        return token
+
+    def expect_kw(word):
+        kind, value = advance()
+        if kind != "kw" or value != word:
+            raise QueryError(f"OQL syntax: expected {word!r}, found {value!r}")
+
+    def parse_path() -> Path:
+        kind, value = advance()
+        if kind != "name":
+            raise QueryError(f"OQL syntax: expected a path, found {value!r}")
+        steps = []
+        while peek() == ("op", "."):
+            advance()
+            step_kind, step = advance()
+            if step_kind != "name":
+                raise QueryError(f"OQL syntax: bad path step {step!r}")
+            steps.append(step)
+        return Path(value, steps)
+
+    def parse_operand():
+        kind, value = peek()
+        if kind == "lit":
+            advance()
+            return value
+        return parse_path()
+
+    # select
+    expect_kw("select")
+    select: List[Union[Path, str]] = []
+    if peek() == ("op", "*"):
+        advance()
+        select.append("*")
+    else:
+        while True:
+            select.append(parse_path())
+            if peek() == ("op", ","):
+                advance()
+                continue
+            break
+
+    # from
+    expect_kw("from")
+    sources: List[Tuple[str, str]] = []
+    while True:
+        kind, class_name = advance()
+        if kind != "name":
+            raise QueryError(f"OQL syntax: expected a class name, found {class_name!r}")
+        kind, var = advance()
+        if kind != "name":
+            raise QueryError(f"OQL syntax: expected a variable, found {var!r}")
+        sources.append((class_name, var))
+        if peek() == ("op", ","):
+            advance()
+            continue
+        break
+
+    # where
+    conditions: List[Condition] = []
+    if peek() == ("kw", "where"):
+        advance()
+        while True:
+            left = parse_operand()
+            kind, op = peek()
+            if (kind, op) == ("kw", "in"):
+                advance()
+                op = "in"
+            elif kind == "op" and op in ("=", "!=", "<", "<=", ">", ">="):
+                advance()
+            else:
+                raise QueryError(f"OQL syntax: expected an operator, found {op!r}")
+            right = parse_operand()
+            conditions.append(Condition(left, op, right))
+            if peek() == ("kw", "and"):
+                advance()
+                continue
+            break
+
+    # order by
+    order_by = None
+    if peek() == ("kw", "order"):
+        advance()
+        expect_kw("by")
+        order_by = parse_path()
+
+    if peek()[0] != "eof":
+        raise QueryError(f"OQL syntax: trailing input {peek()[1]!r}")
+    return Query(select, sources, conditions, order_by)
+
+
+def oql(store: ObjectStore, text: str) -> List[Tuple]:
+    """Parse and run a query in one call."""
+    return parse_query(text).run(store)

@@ -1,0 +1,118 @@
+"""ODMG-style schemas: classes with ordered, typed attributes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import SchemaError
+from .types import OType, RefType, CollectionType, TupleType
+
+
+class ClassDef:
+    """A class: a name plus ordered (attribute, type) pairs."""
+
+    def __init__(self, name: str, attributes: Sequence[Tuple[str, OType]]) -> None:
+        names = [n for n, _ in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"class {name!r} has duplicate attribute names")
+        self.name = name
+        self.attributes: Tuple[Tuple[str, OType], ...] = tuple(attributes)
+        self._types: Dict[str, OType] = dict(attributes)
+
+    def attribute_names(self) -> List[str]:
+        return [n for n, _ in self.attributes]
+
+    def attribute_type(self, name: str) -> OType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{n}: {t.render()}" for n, t in self.attributes)
+        return f"ClassDef({self.name} {{{attrs}}})"
+
+
+class ObjectSchema:
+    """A set of class definitions with referential integrity checks."""
+
+    def __init__(self, name: str, classes: Iterable[ClassDef] = ()) -> None:
+        self.name = name
+        self._classes: Dict[str, ClassDef] = {}
+        for cls in classes:
+            self.add(cls)
+
+    def add(self, cls: ClassDef) -> None:
+        if cls.name in self._classes:
+            raise SchemaError(f"schema {self.name!r} already has class {cls.name!r}")
+        self._classes[cls.name] = cls
+
+    def cls(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no class {name!r}") from None
+
+    def class_names(self) -> List[str]:
+        return list(self._classes)
+
+    def classes(self) -> List[ClassDef]:
+        return list(self._classes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def check_references(self) -> None:
+        """Every ref<C> must target a declared class."""
+        missing = []
+
+        def scan(otype: OType) -> None:
+            if isinstance(otype, RefType):
+                if otype.class_name not in self._classes:
+                    missing.append(otype.class_name)
+            elif isinstance(otype, CollectionType):
+                scan(otype.element)
+            elif isinstance(otype, TupleType):
+                for _, field_type in otype.fields:
+                    scan(field_type)
+
+        for cls in self._classes.values():
+            for _, otype in cls.attributes:
+                scan(otype)
+        if missing:
+            raise SchemaError(
+                f"schema {self.name!r} references undeclared class(es): "
+                f"{sorted(set(missing))}"
+            )
+
+    def __repr__(self) -> str:
+        return f"ObjectSchema({self.name!r}, classes={self.class_names()})"
+
+
+def car_dealer_schema() -> ObjectSchema:
+    """The ODMG schema of the Section 1 scenario: cars and suppliers
+    (the Car Schema of Figure 2, with the cyclic ``sells`` variant of
+    Rule 1' available as an extra attribute)."""
+    from .types import STRING, ref, set_of
+
+    schema = ObjectSchema(
+        "car_dealer",
+        [
+            ClassDef(
+                "car",
+                [
+                    ("name", STRING),
+                    ("desc", STRING),
+                    ("suppliers", set_of(ref("supplier"))),
+                ],
+            ),
+            ClassDef(
+                "supplier",
+                [("name", STRING), ("city", STRING), ("zip", STRING)],
+            ),
+        ],
+    )
+    schema.check_references()
+    return schema

@@ -1,0 +1,197 @@
+"""The object store: OIDs, extents, typed values (the "O2" of Figure 1).
+
+Values are plain Python data validated against the schema types:
+
+* atomic types → ``str``/``int``/``float``/``bool``;
+* ``set``/``bag``/``list``/``array`` → Python lists (sets keep their
+  distinctness checked, order is preserved for determinism);
+* tuples → ``dict`` keyed by field name;
+* ``ref<C>`` → :class:`Oid`.
+
+Cyclic object graphs are supported (car ↔ supplier), which is why
+validation of references only checks class membership, not reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SchemaError
+from .schema import ObjectSchema
+from .types import AtomicType, CollectionType, OType, RefType, TupleType
+
+
+class Oid:
+    """An object identifier, unique within one store."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Oid({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Oid) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((Oid, self.value))
+
+
+class ObjectInstance:
+    """An object: a class name, an OID and attribute values."""
+
+    __slots__ = ("oid", "class_name", "values")
+
+    def __init__(self, oid: Oid, class_name: str, values: Dict[str, object]) -> None:
+        self.oid = oid
+        self.class_name = class_name
+        self.values = values
+
+    def get(self, attribute: str) -> object:
+        try:
+            return self.values[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"object {self.oid} has no attribute {attribute!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"ObjectInstance({self.oid}, {self.class_name!r})"
+
+
+class ObjectStore:
+    """Objects under a schema, organized in per-class extents."""
+
+    def __init__(self, schema: ObjectSchema) -> None:
+        self.schema = schema
+        self._objects: Dict[Oid, ObjectInstance] = {}
+        self._extents: Dict[str, List[Oid]] = {c: [] for c in schema.class_names()}
+        self._counter = 0
+
+    # -- creation -------------------------------------------------------------
+
+    def new_oid(self, class_name: str) -> Oid:
+        self._counter += 1
+        return Oid(f"{class_name[:1]}{self._counter}")
+
+    def create(
+        self,
+        class_name: str,
+        values: Dict[str, object],
+        oid: Optional[Oid] = None,
+        defer_ref_check: bool = False,
+    ) -> ObjectInstance:
+        """Create an object; values are validated against the class.
+
+        ``defer_ref_check`` allows forward references while loading a
+        cyclic object graph; call :meth:`check_references` afterwards.
+        """
+        cls = self.schema.cls(class_name)
+        if oid is None:
+            oid = self.new_oid(class_name)
+        if oid in self._objects:
+            raise SchemaError(f"duplicate oid {oid}")
+        missing = set(cls.attribute_names()) - set(values)
+        if missing:
+            raise SchemaError(
+                f"class {class_name!r}: missing attribute(s) {sorted(missing)}"
+            )
+        extra = set(values) - set(cls.attribute_names())
+        if extra:
+            raise SchemaError(
+                f"class {class_name!r}: unknown attribute(s) {sorted(extra)}"
+            )
+        for name, otype in cls.attributes:
+            self._validate(values[name], otype, f"{class_name}.{name}", defer_ref_check)
+        instance = ObjectInstance(oid, class_name, dict(values))
+        self._objects[oid] = instance
+        self._extents[class_name].append(oid)
+        return instance
+
+    def _validate(
+        self, value: object, otype: OType, path: str, defer_ref_check: bool
+    ) -> None:
+        if isinstance(otype, AtomicType):
+            if not otype.accepts(value):
+                raise SchemaError(
+                    f"{path}: {value!r} is not a valid {otype.render()}"
+                )
+        elif isinstance(otype, CollectionType):
+            if not isinstance(value, (list, tuple)):
+                raise SchemaError(f"{path}: expected a collection, got {value!r}")
+            for index, item in enumerate(value):
+                self._validate(item, otype.element, f"{path}[{index}]", defer_ref_check)
+            if otype.distinct:
+                canonical = [repr(v) for v in value]
+                if len(set(canonical)) != len(canonical):
+                    raise SchemaError(f"{path}: duplicate elements in a set")
+        elif isinstance(otype, TupleType):
+            if not isinstance(value, dict):
+                raise SchemaError(f"{path}: expected a tuple dict, got {value!r}")
+            for name, field_type in otype.fields:
+                if name not in value:
+                    raise SchemaError(f"{path}: missing tuple field {name!r}")
+                self._validate(value[name], field_type, f"{path}.{name}", defer_ref_check)
+        elif isinstance(otype, RefType):
+            if not isinstance(value, Oid):
+                raise SchemaError(f"{path}: expected a reference, got {value!r}")
+            if not defer_ref_check:
+                target = self._objects.get(value)
+                if target is None:
+                    raise SchemaError(f"{path}: dangling reference {value}")
+                if target.class_name != otype.class_name:
+                    raise SchemaError(
+                        f"{path}: reference to {target.class_name!r}, expected "
+                        f"{otype.class_name!r}"
+                    )
+        else:  # pragma: no cover - exhaustive
+            raise SchemaError(f"unknown type {otype!r}")
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, oid: Oid) -> ObjectInstance:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise SchemaError(f"no object {oid}") from None
+
+    def extent(self, class_name: str) -> List[ObjectInstance]:
+        self.schema.cls(class_name)
+        return [self._objects[oid] for oid in self._extents[class_name]]
+
+    def objects(self) -> List[ObjectInstance]:
+        return list(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[ObjectInstance]:
+        return iter(self._objects.values())
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._objects
+
+    # -- integrity --------------------------------------------------------------
+
+    def check_references(self) -> None:
+        """Re-validate every reference (after deferred loading)."""
+        for instance in self._objects.values():
+            cls = self.schema.cls(instance.class_name)
+            for name, otype in cls.attributes:
+                self._validate(
+                    instance.values[name],
+                    otype,
+                    f"{instance.class_name}.{name}",
+                    defer_ref_check=False,
+                )
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{c}({len(oids)})" for c, oids in self._extents.items()
+        )
+        return f"ObjectStore({self.schema.name!r}: {sizes})"

@@ -1,0 +1,126 @@
+"""ODMG-style value types for the object substrate.
+
+The type system mirrors the ODMG model of Figure 2: atomic types,
+collections (set, bag, list, array), tuples (structs) and references to
+class objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import SchemaError
+
+
+class OType:
+    """Abstract value type."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.render() == other.render()
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.render()))
+
+
+class AtomicType(OType):
+    NAMES = ("string", "int", "float", "bool")
+
+    def __init__(self, name: str) -> None:
+        if name not in self.NAMES:
+            raise SchemaError(f"unknown atomic type {name!r}")
+        self.name = name
+
+    def render(self) -> str:
+        return self.name
+
+    def accepts(self, value: object) -> bool:
+        if self.name == "bool":
+            return isinstance(value, bool)
+        if self.name == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.name == "float":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+class CollectionType(OType):
+    KINDS = ("set", "bag", "list", "array")
+
+    def __init__(self, kind: str, element: OType) -> None:
+        if kind not in self.KINDS:
+            raise SchemaError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+        self.element = element
+
+    def render(self) -> str:
+        return f"{self.kind}<{self.element.render()}>"
+
+    @property
+    def ordered(self) -> bool:
+        return self.kind in ("list", "array")
+
+    @property
+    def distinct(self) -> bool:
+        return self.kind == "set"
+
+
+class TupleType(OType):
+    def __init__(self, fields: Sequence[Tuple[str, OType]]) -> None:
+        names = [n for n, _ in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate tuple field names")
+        self.fields: Tuple[Tuple[str, OType], ...] = tuple(fields)
+
+    def render(self) -> str:
+        inner = ", ".join(f"{n}: {t.render()}" for n, t in self.fields)
+        return f"tuple<{inner}>"
+
+    def field(self, name: str) -> OType:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise SchemaError(f"tuple has no field {name!r}")
+
+
+class RefType(OType):
+    def __init__(self, class_name: str) -> None:
+        self.class_name = class_name
+
+    def render(self) -> str:
+        return f"ref<{self.class_name}>"
+
+
+STRING = AtomicType("string")
+INT = AtomicType("int")
+FLOAT = AtomicType("float")
+BOOL = AtomicType("bool")
+
+
+def set_of(element: OType) -> CollectionType:
+    return CollectionType("set", element)
+
+
+def bag_of(element: OType) -> CollectionType:
+    return CollectionType("bag", element)
+
+
+def list_of(element: OType) -> CollectionType:
+    return CollectionType("list", element)
+
+
+def array_of(element: OType) -> CollectionType:
+    return CollectionType("array", element)
+
+
+def ref(class_name: str) -> RefType:
+    return RefType(class_name)
+
+
+def tuple_of(**fields: OType) -> TupleType:
+    return TupleType(list(fields.items()))

@@ -1,0 +1,18 @@
+"""Relational substrate: the "relational system" of Figure 1."""
+
+from .schema import Column, DatabaseSchema, TableSchema, dealer_schema
+from .table import Row, Table
+from .database import Database
+from .csvio import dump_csv, load_csv
+
+__all__ = [
+    "Column",
+    "DatabaseSchema",
+    "TableSchema",
+    "dealer_schema",
+    "Row",
+    "Table",
+    "Database",
+    "dump_csv",
+    "load_csv",
+]

@@ -1,0 +1,89 @@
+"""CSV import/export for the relational substrate.
+
+Values are coerced to the column's declared type on load, so a CSV file
+round-trips through a typed table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from ..errors import SchemaError
+from .schema import Column, TableSchema
+from .table import Table
+
+
+def _coerce(column: Column, text: str) -> object:
+    if text == "" and column.nullable:
+        return None
+    if column.type_name == "int":
+        try:
+            return int(text)
+        except ValueError:
+            raise SchemaError(
+                f"column {column.name!r}: {text!r} is not an int"
+            ) from None
+    if column.type_name == "float":
+        try:
+            return float(text)
+        except ValueError:
+            raise SchemaError(
+                f"column {column.name!r}: {text!r} is not a float"
+            ) from None
+    if column.type_name == "bool":
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"column {column.name!r}: {text!r} is not a bool")
+    return text
+
+
+def load_csv(schema: TableSchema, text: str, header: bool = True) -> Table:
+    """Build a table from CSV text; with ``header`` the first row must
+    name the schema's columns (in any order)."""
+    table = Table(schema)
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return table
+    order: Sequence[int]
+    if header:
+        names = rows[0]
+        unknown = set(names) - set(schema.column_names())
+        if unknown:
+            raise SchemaError(f"unknown CSV column(s): {sorted(unknown)}")
+        missing = set(schema.column_names()) - set(names)
+        if missing:
+            raise SchemaError(f"missing CSV column(s): {sorted(missing)}")
+        order = [names.index(c) for c in schema.column_names()]
+        rows = rows[1:]
+    else:
+        order = list(range(len(schema.columns)))
+    for raw in rows:
+        if not raw:
+            continue
+        if len(raw) < len(schema.columns):
+            raise SchemaError(
+                f"CSV row has {len(raw)} values, expected {len(schema.columns)}"
+            )
+        values = [
+            _coerce(column, raw[index])
+            for column, index in zip(schema.columns, order)
+        ]
+        table.insert(*values)
+    return table
+
+
+def dump_csv(table: Table, header: bool = True) -> str:
+    """Serialize a table to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    if header:
+        writer.writerow(table.schema.column_names())
+    for row in table.rows():
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()

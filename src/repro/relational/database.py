@@ -1,0 +1,50 @@
+"""A named collection of tables — the "relational system" of Figure 1."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import SchemaError
+from .schema import DatabaseSchema
+from .table import Table
+
+
+class Database:
+    """Tables instantiated from a :class:`DatabaseSchema`."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._tables: Dict[str, Table] = {
+            ts.name: Table(ts) for ts in schema.tables()
+        }
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def insert(self, table_name: str, *values: object) -> None:
+        self.table(table_name).insert(*values)
+
+    def __iter__(self) -> Iterator[Tuple[str, Table]]:
+        return iter(self._tables.items())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}({len(t)})" for n, t in self._tables.items())
+        return f"Database({self.name!r}: {sizes})"

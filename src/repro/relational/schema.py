@@ -1,0 +1,179 @@
+"""Relational schemas (Section 3.2's suppliers/cars/sales database).
+
+A :class:`TableSchema` declares ordered, typed columns and an optional
+primary key; a :class:`DatabaseSchema` groups tables. Types are the YAT
+atomic domains, so wrapped rows type-check against the relational model
+of :func:`repro.core.models.relational_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.variables import Domain, domain_by_name
+from ..errors import SchemaError
+
+
+class Column:
+    """A named, typed column. ``type_name`` is a YAT atomic type name
+    (``string``, ``int``, ``float``, ``bool``)."""
+
+    __slots__ = ("name", "type_name", "domain", "nullable")
+
+    def __init__(self, name: str, type_name: str, nullable: bool = False) -> None:
+        if not name or not name[0].islower():
+            raise SchemaError(f"column names start with a lowercase letter: {name!r}")
+        try:
+            domain = domain_by_name(type_name)
+        except ValueError as exc:
+            raise SchemaError(str(exc)) from None
+        self.name = name
+        self.type_name = type_name
+        self.domain: Domain = domain
+        self.nullable = nullable
+
+    def accepts(self, value: object) -> bool:
+        if value is None:
+            return self.nullable
+        return self.domain.contains(value)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        suffix = "?" if self.nullable else ""
+        return f"{self.name}: {self.type_name}{suffix}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and other.name == self.name
+            and other.type_name == self.type_name
+            and other.nullable == self.nullable
+        )
+
+
+class TableSchema:
+    """An ordered set of columns with an optional primary key."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        key: Optional[str] = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        if key is not None and key not in names:
+            raise SchemaError(f"table {name!r}: key column {key!r} does not exist")
+        self.name = name
+        self.columns = list(columns)
+        self.key = key
+        self._by_name: Dict[str, Column] = {c.name: c for c in columns}
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def validate_row(self, row: Sequence[object]) -> Tuple[object, ...]:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        for column, value in zip(self.columns, row):
+            if not column.accepts(value):
+                raise SchemaError(
+                    f"table {self.name!r}: value {value!r} is not a valid "
+                    f"{column.type_name} for column {column.name!r}"
+                )
+        return tuple(row)
+
+    def key_index(self) -> Optional[int]:
+        if self.key is None:
+            return None
+        return self.column_names().index(self.key)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(c) for c in self.columns)
+        return f"TableSchema({self.name}[{cols}], key={self.key})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TableSchema)
+            and other.name == self.name
+            and other.columns == self.columns
+            and other.key == self.key
+        )
+
+
+class DatabaseSchema:
+    """A named collection of table schemas."""
+
+    def __init__(self, name: str, tables: Iterable[TableSchema] = ()) -> None:
+        self.name = name
+        self._tables: Dict[str, TableSchema] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"schema {self.name!r} already has table {table.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}") from None
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def tables(self) -> List[TableSchema]:
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({self.name!r}, tables={self.table_names()})"
+
+
+def dealer_schema() -> DatabaseSchema:
+    """The Section 3.2 relational schema of the car dealer company."""
+    return DatabaseSchema(
+        "dealer",
+        [
+            TableSchema(
+                "suppliers",
+                [
+                    Column("sid", "int"),
+                    Column("name", "string"),
+                    Column("city", "string"),
+                    Column("address", "string"),
+                    Column("tel", "string"),
+                ],
+                key="sid",
+            ),
+            TableSchema(
+                "cars",
+                [Column("cid", "int"), Column("broch_num", "string")],
+                key="cid",
+            ),
+            TableSchema(
+                "sales",
+                [
+                    Column("sid", "int"),
+                    Column("cid", "int"),
+                    Column("year", "int"),
+                    Column("sold", "int"),
+                ],
+            ),
+        ],
+    )

@@ -1,0 +1,21 @@
+"""SGML substrate: documents, DTDs, parser, validator, writer."""
+
+from .document import Element, element
+from .dtd import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    DTD,
+    ElementDecl,
+    Empty,
+    NameRef,
+    PCData,
+    Repeat,
+    Seq,
+    brochure_dtd,
+    parse_dtd,
+)
+from .parser import parse_sgml, parse_sgml_many, write_sgml
+from .validator import ValidationError, is_valid, validate
+
+__all__ = [name for name in dir() if not name.startswith("_")]

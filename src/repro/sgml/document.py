@@ -1,0 +1,80 @@
+"""SGML document trees: elements with ordered children (elements or text)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union
+
+from ..errors import WrapperError
+
+Child = Union["Element", str]
+
+
+class Element:
+    """An SGML element: a tag plus ordered element/text children."""
+
+    __slots__ = ("tag", "children")
+
+    def __init__(self, tag: str, children: Sequence[Child] = ()) -> None:
+        if not tag:
+            raise WrapperError("element tags may not be empty")
+        self.tag = tag
+        self.children: List[Child] = list(children)
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, child: Child) -> "Element":
+        self.children.append(child)
+        return self
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """Concatenated text content of this element (recursively)."""
+        parts: List[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text)
+        return "".join(parts)
+
+    def elements(self) -> List["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, tag: str) -> "Element":
+        for child in self.elements():
+            if child.tag == tag:
+                return child
+        raise WrapperError(f"element {self.tag!r} has no child {tag!r}")
+
+    def find_all(self, tag: str) -> List["Element"]:
+        return [c for c in self.elements() if c.tag == tag]
+
+    def walk(self) -> Iterator["Element"]:
+        yield self
+        for child in self.elements():
+            yield from child.walk()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Element)
+            and other.tag == self.tag
+            and other.children == self.children
+        )
+
+    def __repr__(self) -> str:
+        return f"Element({self.tag!r}, {len(self.children)} child(ren))"
+
+
+def element(tag: str, *children: Union[Child, int, float]) -> Element:
+    """Convenience constructor; numbers are stringified to text nodes."""
+    coerced: List[Child] = []
+    for child in children:
+        if isinstance(child, (int, float)) and not isinstance(child, bool):
+            coerced.append(str(child))
+        elif isinstance(child, (Element, str)):
+            coerced.append(child)
+        else:
+            raise WrapperError(f"invalid SGML child: {child!r}")
+    return Element(tag, coerced)

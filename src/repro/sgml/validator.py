@@ -1,0 +1,144 @@
+"""Validation of SGML documents against a DTD.
+
+Content models are regular expressions over child names; validation
+computes, per model node, the set of positions reachable in the child
+sequence (a standard Glushkov-style interpretation, memoized). Text
+children match ``#PCDATA``; whitespace-only text is ignorable anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from ..errors import SchemaError
+from .document import Element
+from .dtd import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    DTD,
+    Empty,
+    NameRef,
+    PCData,
+    Repeat,
+    Seq,
+)
+
+
+class ValidationError(SchemaError):
+    """A document does not conform to its DTD."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+def validate(document: Element, dtd: DTD) -> None:
+    """Raise :class:`ValidationError` unless *document* conforms."""
+    if document.tag != dtd.root:
+        raise ValidationError(
+            "/", f"root element is {document.tag!r}, expected {dtd.root!r}"
+        )
+    _validate_element(document, dtd, f"/{document.tag}")
+
+
+def is_valid(document: Element, dtd: DTD) -> bool:
+    try:
+        validate(document, dtd)
+    except SchemaError:
+        return False
+    return True
+
+
+def _validate_element(element: Element, dtd: DTD, path: str) -> None:
+    if not dtd.declares(element.tag):
+        raise ValidationError(path, f"undeclared element {element.tag!r}")
+    model = dtd.element(element.tag).content
+    children = [c for c in element.children if not _ignorable(c)]
+    if isinstance(model, Empty):
+        if children:
+            raise ValidationError(path, "declared EMPTY but has content")
+    elif isinstance(model, AnyContent):
+        pass
+    else:
+        ends = _match(model, children, 0, {})
+        if len(children) not in ends:
+            raise ValidationError(
+                path,
+                f"content {_describe(children)} does not match "
+                f"{model.render()}",
+            )
+    for index, child in enumerate(element.elements()):
+        _validate_element(child, dtd, f"{path}/{child.tag}[{index}]")
+
+
+def _ignorable(child: Union[Element, str]) -> bool:
+    return isinstance(child, str) and not child.strip()
+
+
+def _describe(children: List[Union[Element, str]]) -> str:
+    names = [c.tag if isinstance(c, Element) else "#PCDATA" for c in children]
+    return "(" + ", ".join(names) + ")"
+
+
+def _match(
+    model: ContentModel,
+    children: List[Union[Element, str]],
+    start: int,
+    memo: Dict[Tuple[int, int], FrozenSet[int]],
+) -> FrozenSet[int]:
+    """Positions reachable by matching *model* from *start*."""
+    key = (id(model), start)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    memo[key] = frozenset()  # cycle guard for pathological models
+    result: Set[int] = set()
+    if isinstance(model, PCData):
+        # #PCDATA matches zero or more text children.
+        result.add(start)
+        position = start
+        while position < len(children) and isinstance(children[position], str):
+            position += 1
+            result.add(position)
+    elif isinstance(model, NameRef):
+        if start < len(children):
+            child = children[start]
+            if isinstance(child, Element) and child.tag == model.name:
+                result.add(start + 1)
+    elif isinstance(model, Seq):
+        positions: Set[int] = {start}
+        for item in model.items:
+            next_positions: Set[int] = set()
+            for position in positions:
+                next_positions |= _match(item, children, position, memo)
+            positions = next_positions
+            if not positions:
+                break
+        result = positions
+    elif isinstance(model, Choice):
+        for option in model.options:
+            result |= _match(option, children, start, memo)
+    elif isinstance(model, Repeat):
+        if model.mode == "?":
+            result = {start} | set(_match(model.item, children, start, memo))
+        else:
+            # * and +: iterate to a fixpoint
+            reachable: Set[int] = set()
+            frontier = {start}
+            while frontier:
+                position = frontier.pop()
+                for end in _match(model.item, children, position, memo):
+                    if end not in reachable and end != position:
+                        reachable.add(end)
+                        frontier.add(end)
+            result = set(reachable)
+            if model.mode == "*":
+                result.add(start)
+    elif isinstance(model, (Empty, AnyContent)):
+        result.add(start)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise SchemaError(f"unknown content model node {model!r}")
+    frozen = frozenset(result)
+    memo[key] = frozen
+    return frozen

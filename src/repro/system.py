@@ -1,0 +1,175 @@
+"""The YAT system facade (Section 5, Figure 6).
+
+:class:`YatSystem` wires the three parts of the architecture together:
+
+* the **specification environment** — loading programs from the library,
+  customizing them by instantiation, combining and composing them, and
+  type checking on demand;
+* the **run-time environment** — import wrappers, the YATL interpreter,
+  export wrappers;
+* the **library** of programs and formats.
+
+The ``translate`` helpers run complete pipelines, e.g. the Figure 1
+scenario: relational + SGML sources → ODMG objects → HTML pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from .core.models import Model
+from .core.patterns import Pattern
+from .core.trees import DataStore, Tree
+from .errors import YatError
+from .library.store import Library, standard_library
+from .objectdb.schema import ObjectSchema
+from .objectdb.store import ObjectStore
+from .relational.database import Database
+from .sgml.document import Element
+from .sgml.dtd import DTD
+from .wrappers.html import HtmlExportWrapper
+from .wrappers.odmg import OdmgExportWrapper, OdmgImportWrapper
+from .wrappers.relational import RelationalImportWrapper
+from .wrappers.sgml import SgmlImportWrapper
+from .yatl.interpreter import ConversionResult
+from .yatl.program import Program
+from .yatl.typing import Signature
+
+
+class YatSystem:
+    """A complete YAT environment."""
+
+    def __init__(self, library: Optional[Library] = None) -> None:
+        self.library = library if library is not None else standard_library()
+
+    # ------------------------------------------------------------------
+    # Specification environment
+    # ------------------------------------------------------------------
+
+    def import_program(self, name: str) -> Program:
+        """Import a conversion program from the library."""
+        return self.library.load_program(name)
+
+    def save_program(self, program: Program) -> str:
+        return self.library.save_program(program)
+
+    def import_model(self, name: str) -> Model:
+        return self.library.load_model(name)
+
+    def customize(
+        self,
+        program: Program,
+        patterns: Union[Pattern, Sequence[Pattern], Model],
+        name: Optional[str] = None,
+    ) -> Program:
+        """Instantiate a general program on specific pattern(s), ready
+        for further hand-customization (Section 4.1)."""
+        return program.instantiated_on(patterns, name=name)
+
+    def combine(self, *programs: Program, name: Optional[str] = None) -> Program:
+        """Combine programs; rule hierarchies arbitrate the conflicts
+        (Section 4.2)."""
+        if not programs:
+            raise YatError("combine needs at least one program")
+        combined = programs[0]
+        for program in programs[1:]:
+            combined = combined.combined_with(program)
+        if name is not None:
+            combined.name = name
+        return combined
+
+    def compose(
+        self, first: Program, second: Program, name: Optional[str] = None
+    ) -> Program:
+        """Compose two programs into a one-step conversion (Section 4.3)."""
+        return first.composed_with(second, name=name)
+
+    def type_check(self, program: Program) -> Signature:
+        """On-demand typing (Section 3.5): infer the signature and check
+        it against the program's declared models."""
+        program.check_models()
+        return program.signature()
+
+    # ------------------------------------------------------------------
+    # Run-time environment
+    # ------------------------------------------------------------------
+
+    def import_relational(self, database: Database) -> DataStore:
+        return RelationalImportWrapper().to_store(database)
+
+    def import_sgml(
+        self,
+        documents: Sequence[Element],
+        dtd: Optional[DTD] = None,
+        coerce_numbers: bool = True,
+    ) -> DataStore:
+        """Import SGML documents. ``coerce_numbers`` turns numeric PCDATA
+        into numbers (needed by Rule 1's ``Year > 1975``); disable it
+        when joining against string-typed relational columns (Rule 3's
+        ``Num``/``broch_num``)."""
+        return SgmlImportWrapper(dtd=dtd, coerce_numbers=coerce_numbers).to_store(
+            documents
+        )
+
+    def import_odmg(self, store: ObjectStore) -> DataStore:
+        return OdmgImportWrapper().to_store(store)
+
+    def merge_stores(self, *stores: DataStore) -> DataStore:
+        merged = DataStore()
+        for index, store in enumerate(stores):
+            for name, node in store:
+                unique = name if name not in merged else f"{name}@{index}"
+                merged.add(unique, node)
+        return merged
+
+    def run(
+        self,
+        program: Program,
+        data: Union[DataStore, Sequence[Tree], Tree],
+        runtime_typing: bool = False,
+    ) -> ConversionResult:
+        return program.run(data, runtime_typing=runtime_typing)
+
+    def export_odmg(
+        self, result: ConversionResult, schema: ObjectSchema
+    ) -> ObjectStore:
+        return OdmgExportWrapper(schema).from_store(result.store)
+
+    def export_html(
+        self, result: ConversionResult, functor: str = "HtmlPage"
+    ) -> Dict[str, str]:
+        return HtmlExportWrapper().export_result(result, functor)
+
+    # ------------------------------------------------------------------
+    # Scenario pipelines (Figure 1)
+    # ------------------------------------------------------------------
+
+    def translate_to_objects(
+        self,
+        program: Program,
+        schema: ObjectSchema,
+        sgml_documents: Sequence[Element] = (),
+        database: Optional[Database] = None,
+        dtd: Optional[DTD] = None,
+    ) -> ObjectStore:
+        """Sources → ODMG objects: the materialized variant of Figure 1
+        arrow (1)."""
+        stores = []
+        if sgml_documents:
+            stores.append(self.import_sgml(sgml_documents, dtd))
+        if database is not None:
+            stores.append(self.import_relational(database))
+        if not stores:
+            raise YatError("translate_to_objects needs at least one source")
+        result = self.run(program, self.merge_stores(*stores))
+        return self.export_odmg(result, schema)
+
+    def publish_to_html(
+        self, program: Program, objects: ObjectStore
+    ) -> Dict[str, str]:
+        """ODMG objects → HTML pages: Figure 1 arrow (2)."""
+        result = self.run(program, self.import_odmg(objects))
+        return self.export_html(result)
+
+    def __repr__(self) -> str:
+        return f"YatSystem({self.library!r})"

@@ -1,0 +1,21 @@
+"""Synthetic workload generators (OPAL-shaped data at any scale)."""
+
+from .generators import (
+    brochure_elements,
+    brochure_trees,
+    car_object_store,
+    dealer_database,
+    deep_object_store,
+    sales_matrix,
+    supplier_pool,
+)
+
+__all__ = [
+    "brochure_elements",
+    "brochure_trees",
+    "car_object_store",
+    "dealer_database",
+    "deep_object_store",
+    "sales_matrix",
+    "supplier_pool",
+]

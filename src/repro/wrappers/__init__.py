@@ -1,0 +1,27 @@
+"""Import/export wrappers between substrates and YAT trees (Figure 6)."""
+
+from .base import ExportWrapper, ImportWrapper
+from .relational import (
+    RelationalExportWrapper,
+    RelationalImportWrapper,
+    table_to_tree,
+)
+from .sgml import SgmlExportWrapper, SgmlImportWrapper
+from .odmg import OdmgExportWrapper, OdmgImportWrapper
+from .html import HtmlExportWrapper
+from .json_wrapper import JsonExportWrapper, JsonImportWrapper
+
+__all__ = [
+    "ExportWrapper",
+    "ImportWrapper",
+    "RelationalExportWrapper",
+    "RelationalImportWrapper",
+    "table_to_tree",
+    "SgmlExportWrapper",
+    "SgmlImportWrapper",
+    "OdmgExportWrapper",
+    "OdmgImportWrapper",
+    "HtmlExportWrapper",
+    "JsonExportWrapper",
+    "JsonImportWrapper",
+]

@@ -1,0 +1,29 @@
+"""Wrapper interfaces (Figure 6's import/export wrappers).
+
+An **import wrapper** turns external data into a :class:`DataStore` of
+ground YAT trees; an **export wrapper** does the reverse. Wrappers are
+deliberately dumb: all restructuring intelligence lives in YATL
+programs; wrappers only change the *encoding*.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from ..core.trees import DataStore
+
+T = TypeVar("T")
+
+
+class ImportWrapper(Generic[T]):
+    """External representation → YAT trees."""
+
+    def to_store(self, source: T) -> DataStore:
+        raise NotImplementedError
+
+
+class ExportWrapper(Generic[T]):
+    """YAT trees → external representation."""
+
+    def from_store(self, store: DataStore) -> T:
+        raise NotImplementedError

@@ -1,0 +1,109 @@
+"""HTML export wrapper (Section 4.1, point 1).
+
+"The program creates a new identifier for each HTML page through the
+HtmlPage skolem function. It is the HTML wrapper's responsibility to map
+these pattern identifiers to a real URL when creating the actual HTML
+pages."
+
+:class:`HtmlExportWrapper` turns the ``HtmlPage`` trees of a conversion
+result into rendered HTML documents, mapping identifiers to URLs
+(``h1`` → ``h1.html`` by default) and turning ``a < href -> &h2,
+cont -> ... >`` anchor trees into real ``<a href=...>`` elements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core.labels import Symbol, is_atom
+from ..core.trees import DataStore, Ref, Tree
+from ..errors import WrapperError
+from ..html.dom import HtmlElement, Text
+from ..html.render import render_document
+from .base import ExportWrapper
+
+A = Symbol("a")
+HREF = Symbol("href")
+CONT = Symbol("cont")
+
+
+class HtmlExportWrapper(ExportWrapper[Dict[str, str]]):
+    """YAT html trees → rendered pages keyed by URL."""
+
+    def __init__(self, url_of: Optional[Callable[[str], str]] = None) -> None:
+        self.url_of = url_of or (lambda identifier: f"{identifier}.html")
+
+    def from_store(self, store: DataStore) -> Dict[str, str]:
+        pages: Dict[str, str] = {}
+        for name, node in store:
+            if not _is_page(node):
+                continue
+            pages[self.url_of(name)] = render_document(self.tree_to_element(node))
+        if not pages:
+            raise WrapperError("the store contains no html page trees")
+        return pages
+
+    def export_result(self, result, functor: str = "HtmlPage") -> Dict[str, str]:
+        """Export the pages a conversion produced for one Skolem functor."""
+        pages: Dict[str, str] = {}
+        for identifier in result.ids_of(functor):
+            node = result.store.get(identifier)
+            pages[self.url_of(identifier)] = render_document(
+                self.tree_to_element(node)
+            )
+        return pages
+
+    # -- conversion -----------------------------------------------------------
+
+    def tree_to_element(self, node: Tree) -> HtmlElement:
+        if not isinstance(node.label, Symbol):
+            raise WrapperError(f"an HTML element tree must be symbol-rooted: {node!r}")
+        if node.label == A:
+            return self._anchor(node)
+        element = HtmlElement(node.label.name)
+        for child in node.children:
+            element.append(self._child(child))
+        return element
+
+    def _child(self, child: Union[Tree, Ref]) -> Union[HtmlElement, Text]:
+        if isinstance(child, Ref):
+            # a bare reference renders as a link to the referenced page
+            return HtmlElement(
+                "a", {"href": self.url_of(child.target)}, [Text(child.target)]
+            )
+        if isinstance(child.label, Symbol) and (child.children or child.label == A):
+            return self.tree_to_element(child)
+        if isinstance(child.label, Symbol) and not child.children:
+            # a childless symbol node: literal text (e.g. a class name)
+            return Text(child.label.name)
+        return Text(_atom_text(child.label))
+
+    def _anchor(self, node: Tree) -> HtmlElement:
+        href: Optional[str] = None
+        content: List[Union[HtmlElement, Text]] = []
+        for child in node.children:
+            if isinstance(child, Tree) and child.label == HREF:
+                target = child.children[0] if child.children else None
+                if isinstance(target, Ref):
+                    href = self.url_of(target.target)
+                elif isinstance(target, Tree) and is_atom(target.label):
+                    href = str(target.label)
+                else:
+                    raise WrapperError(f"malformed anchor href: {child!r}")
+            elif isinstance(child, Tree) and child.label == CONT:
+                content.extend(self._child(c) for c in child.children)
+            else:
+                content.append(self._child(child))
+        if href is None:
+            raise WrapperError(f"anchor without href: {node!r}")
+        return HtmlElement("a", {"href": href}, content)
+
+
+def _is_page(node: Tree) -> bool:
+    return isinstance(node.label, Symbol) and node.label.name == "html"
+
+
+def _atom_text(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

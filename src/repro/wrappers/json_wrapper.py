@@ -1,0 +1,139 @@
+"""JSON ↔ YAT wrapper.
+
+The paper predates JSON, but its model was built so that "one can
+easily map anything into a tree" — JSON is today's ubiquitous exchange
+format and maps naturally:
+
+* an object ``{"k": v, ...}`` becomes a node per key (insertion order
+  preserved), mirroring how the SGML wrapper maps elements;
+* an array becomes an ``array`` node with one child per element;
+* scalars become atomic leaves (``null`` becomes the ``null`` symbol).
+
+The export direction inverts the encoding; trees that did not come from
+JSON export best-effort (symbol-labeled nodes become objects, repeated
+keys turn into arrays of values).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Sequence, Union
+
+from ..core.labels import Symbol, is_atom
+from ..core.trees import DataStore, Ref, Tree
+from ..errors import WrapperError
+from .base import ExportWrapper, ImportWrapper
+
+ARRAY = Symbol("array")
+NULL = Symbol("null")
+
+
+class JsonImportWrapper(ImportWrapper[str]):
+    """JSON text (or parsed values) → YAT trees."""
+
+    def __init__(self, root_label: str = "document") -> None:
+        self.root_label = root_label
+
+    def to_store(self, source: Union[str, Sequence[Any]]) -> DataStore:
+        if isinstance(source, str):
+            # JSON text is always *one* document (a top-level array is a
+            # single array-valued document); pass a Python list to
+            # import several documents at once.
+            values: Sequence[Any] = [json.loads(source)]
+        elif isinstance(source, list):
+            values = source
+        else:
+            values = [source]
+        store = DataStore()
+        for index, value in enumerate(values, start=1):
+            store.add(f"j{index}", self.value_to_tree(value))
+        return store
+
+    def value_to_tree(self, value: Any) -> Tree:
+        return Tree(Symbol(self.root_label), (self._encode(value),))
+
+    def _encode(self, value: Any) -> Tree:
+        if value is None:
+            return Tree(NULL)
+        if isinstance(value, bool) or isinstance(value, (int, float, str)):
+            return Tree(value)
+        if isinstance(value, list):
+            return Tree(ARRAY, tuple(self._encode(item) for item in value))
+        if isinstance(value, dict):
+            children = []
+            for key, item in value.items():
+                if not isinstance(key, str) or not key:
+                    raise WrapperError(f"invalid JSON object key: {key!r}")
+                children.append(Tree(Symbol(key), (self._encode(item),)))
+            return Tree(Symbol("object"), tuple(children))
+        raise WrapperError(f"unsupported JSON value: {value!r}")
+
+
+class JsonExportWrapper(ExportWrapper[str]):
+    """YAT trees → JSON text. References are materialized (with cycle
+    protection); unresolvable cycles raise."""
+
+    def __init__(self, indent: int = 2) -> None:
+        self.indent = indent
+
+    def from_store(self, store: DataStore) -> str:
+        values = [
+            self.tree_to_value(store.materialize(name)) for name in store.names()
+        ]
+        payload = values[0] if len(values) == 1 else values
+        return json.dumps(payload, indent=self.indent)
+
+    def tree_to_value(self, node: Union[Tree, Ref]) -> Any:
+        if isinstance(node, Ref):
+            raise WrapperError(
+                f"unresolved reference &{node.target} cannot be exported to "
+                f"JSON (cyclic data?)"
+            )
+        label = node.label
+        if label == NULL and not node.children:
+            return None
+        if is_atom(label) and not node.children:
+            return label
+        if label == ARRAY:
+            return [self.tree_to_value(child) for child in node.children]
+        if isinstance(label, Symbol):
+            if label.name == "document" and len(node.children) == 1:
+                return self.tree_to_value(node.children[0])
+            if label.name == "object":
+                return self._object_of(node)
+            if not node.children:
+                return label.name  # a bare symbol exports as its name
+            return {label.name: self._field_value(node)}
+        raise WrapperError(f"cannot export node {node!r} to JSON")
+
+    def _field_value(self, node: Tree) -> Any:
+        if len(node.children) == 1:
+            return self.tree_to_value(node.children[0])
+        if _looks_like_object(node):
+            return self._object_of(node)
+        return [self.tree_to_value(c) for c in node.children]
+
+    def _object_of(self, node: Tree) -> Any:
+        result: Dict[str, Any] = {}
+        for child in node.children:
+            if isinstance(child, Ref) or not isinstance(child.label, Symbol):
+                raise WrapperError(f"cannot export field {child!r} to JSON")
+            key = child.label.name
+            value = self._field_value(child)
+            if key in result:
+                existing = result[key]
+                if not isinstance(existing, list):
+                    result[key] = [existing]
+                result[key].append(value)
+            else:
+                result[key] = value
+        return result
+
+
+def _looks_like_object(node: Tree) -> bool:
+    """Symbol-rooted nodes whose children all look like fields."""
+    return bool(node.children) and all(
+        isinstance(child, Tree) and isinstance(child.label, Symbol)
+        and len(child.children) >= 1
+        for child in node.children
+    )

@@ -1,0 +1,188 @@
+"""A fluent builder API for YATL rules and programs.
+
+The paper's graphical editor assembles rules piece by piece and
+"generates" YATL; this builder is its programmatic equivalent —
+patterns are given in textual syntax, conditions through chained
+calls, and :meth:`RuleBuilder.build` lints the result::
+
+    rule1 = (rule_("Rule1")
+             .head("Psup", "SN")
+             .out("class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z >")
+             .match("Pbr", BROCHURE_PATTERN)
+             .where("Year", ">", 1975)
+             .let("C", "city", "Add")
+             .let("Z", "zip", "Add")
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..core.labels import Label, is_label
+from ..core.patterns import NameTerm, PChild
+from ..core.syntax import parse_pattern_tree
+from ..core.variables import PatternVar, Var
+from ..errors import ModelError, YatError
+from .ast import BodyPattern, Expr, FunctionCall, HeadPattern, Predicate, Rule
+from .functions import FunctionRegistry, standard_registry
+from .lint import errors_of, lint_rule
+from .program import Program
+
+
+def _coerce_expr(value: object) -> Expr:
+    if isinstance(value, (Var, PatternVar)):
+        return value
+    if isinstance(value, str) and value and value[0].isupper():
+        return Var(value)
+    if is_label(value):
+        return value  # type: ignore[return-value]
+    raise ModelError(f"cannot use {value!r} in a condition")
+
+
+def _coerce_tree(tree: Union[str, PChild], known: Sequence[str]) -> PChild:
+    if isinstance(tree, str):
+        return parse_pattern_tree(tree, known_names=known)
+    return tree
+
+
+class RuleBuilder:
+    """Accumulates the pieces of one rule; ``build()`` lints and
+    returns it."""
+
+    def __init__(self, name: str, known_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.known_names = list(known_names)
+        self._head: Optional[HeadPattern] = None
+        self._head_term: Optional[NameTerm] = None
+        self._head_tree: Optional[PChild] = None
+        self._body: List[BodyPattern] = []
+        self._predicates: List[Predicate] = []
+        self._calls: List[FunctionCall] = []
+        self._fallback = False
+
+    # -- head -----------------------------------------------------------------
+
+    def head(self, functor: str, *args: Union[str, Var, PatternVar, Label]) -> "RuleBuilder":
+        """Name the head Skolem term, e.g. ``.head("Psup", "SN")``."""
+        coerced = []
+        for arg in args:
+            if isinstance(arg, str) and arg and arg[0].isupper():
+                coerced.append(Var(arg))
+            else:
+                coerced.append(arg)
+        self._head_term = NameTerm(functor, coerced)
+        return self
+
+    def out(self, tree: Union[str, PChild]) -> "RuleBuilder":
+        """The head pattern tree (textual syntax or a built pattern)."""
+        self._head_tree = _coerce_tree(tree, self.known_names)
+        return self
+
+    def fallback(self) -> "RuleBuilder":
+        """Make this an empty-head rule (the Rule Exception shape)."""
+        self._fallback = True
+        return self
+
+    # -- body -----------------------------------------------------------------
+
+    def match(self, name: str, tree: Union[str, PChild]) -> "RuleBuilder":
+        """Add a named body pattern."""
+        self._body.append(BodyPattern(name, _coerce_tree(tree, self.known_names)))
+        return self
+
+    def where(self, left: object, op: str, right: object) -> "RuleBuilder":
+        """Add a predicate, e.g. ``.where("Year", ">", 1975)``."""
+        self._predicates.append(
+            Predicate(_coerce_expr(left), op, _coerce_expr(right))
+        )
+        return self
+
+    def let(self, result: Optional[str], function: str, *args: object) -> "RuleBuilder":
+        """Add a function call ``result is function(args)``; pass
+        ``None`` as result for a boolean predicate call."""
+        self._calls.append(
+            FunctionCall(
+                Var(result) if result else None,
+                function,
+                [_coerce_expr(a) for a in args],
+            )
+        )
+        return self
+
+    def call(self, function: str, *args: object) -> "RuleBuilder":
+        """A boolean external predicate call (no result variable)."""
+        return self.let(None, function, *args)
+
+    # -- finish ------------------------------------------------------------------
+
+    def build(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        lint: bool = True,
+    ) -> Rule:
+        if self._fallback:
+            head = None
+        else:
+            if self._head_term is None or self._head_tree is None:
+                raise YatError(
+                    f"rule {self.name!r}: both .head() and .out() are "
+                    f"required (or .fallback())"
+                )
+            head = HeadPattern(self._head_term, self._head_tree)
+        rule = Rule(self.name, head, self._body, self._predicates, self._calls)
+        if lint:
+            diagnostics = errors_of(
+                lint_rule(rule, registry or standard_registry())
+            )
+            if diagnostics:
+                details = "; ".join(d.message for d in diagnostics)
+                raise YatError(f"rule {self.name!r} fails lint: {details}")
+        return rule
+
+
+class ProgramBuilder:
+    """Accumulates rules into a program."""
+
+    def __init__(self, name: str, registry: Optional[FunctionRegistry] = None):
+        self.name = name
+        self.registry = registry or standard_registry()
+        self._rules: List[Rule] = []
+        self._known: List[str] = []
+        self._orders: List[tuple] = []
+
+    def knows(self, *pattern_names: str) -> "ProgramBuilder":
+        """Declare pattern names so bare leaves resolve to them."""
+        self._known.extend(pattern_names)
+        return self
+
+    def rule(self, name: str) -> RuleBuilder:
+        builder = RuleBuilder(name, known_names=self._known)
+        builder._program = self  # type: ignore[attr-defined]
+        return builder
+
+    def add(self, rule_or_builder: Union[Rule, RuleBuilder]) -> "ProgramBuilder":
+        if isinstance(rule_or_builder, RuleBuilder):
+            rule_or_builder = rule_or_builder.build(self.registry)
+        self._rules.append(rule_or_builder)
+        return self
+
+    def order(self, specific: str, general: str) -> "ProgramBuilder":
+        self._orders.append((specific, general))
+        return self
+
+    def build(self) -> Program:
+        program = Program(self.name, self._rules, registry=self.registry)
+        for specific, general in self._orders:
+            program.enforce_order(specific, general)
+        return program
+
+
+def rule_(name: str, known_names: Sequence[str] = ()) -> RuleBuilder:
+    """Start building a rule."""
+    return RuleBuilder(name, known_names)
+
+
+def program_(name: str, registry: Optional[FunctionRegistry] = None) -> ProgramBuilder:
+    """Start building a program."""
+    return ProgramBuilder(name, registry)

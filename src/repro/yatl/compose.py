@@ -1,0 +1,205 @@
+"""Program composition (Section 4.3).
+
+"Taking two conversion programs prg1 : M1 |-> M2 ... and
+prg2 : M2' |-> M3, the system first checks if prg1 and prg2 are
+compatible (i.e. if M2 is an instance of M2'). If this is the case, the
+system instantiates prg2 with the patterns of M2. ... Then, the final
+composition is straightforward as syntactically identical patterns
+appear in the output model of prg1 and the input model of prg2'."
+
+The composed program converts prg1's inputs directly to prg2's outputs
+— "this would result in unnecessary processing, since the system would
+create intermediate ... patterns" is exactly what it avoids, which the
+C2 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..core.patterns import (
+    NameTerm,
+    PChild,
+    PNameLeaf,
+    PNode,
+    Pattern,
+    PRefLeaf,
+)
+from ..core.variables import PatternVar, Var
+from ..errors import CompositionError, CustomizationError
+from .ast import HeadPattern, Rule
+from .customize import derive_rule
+from .program import Program, _merge_registries
+from .typing import compatible_for_composition, infer_signature
+
+
+def compose_programs(
+    prg1: Program, prg2: Program, name: Optional[str] = None
+) -> Program:
+    """Compose two programs into one (prg1 then prg2, in a single step)."""
+    signature1 = infer_signature(prg1.rules, prg1.registry, name=prg1.name)
+    intermediate = signature1.output_model  # M2
+    # Compatibility check: M2 must be an instance of M2' (prg2's input).
+    if prg2.input_model is not None:
+        if not compatible_for_composition(intermediate, prg2.input_model):
+            raise CompositionError(
+                f"programs {prg1.name!r} and {prg2.name!r} are not "
+                f"compatible: the output model of the former is not an "
+                f"instance of the latter's input model"
+            )
+    composed = Program(
+        name or f"{prg1.name};{prg2.name}",
+        registry=_merge_registries(prg1.registry, prg2.registry),
+        input_model=prg1.input_model,
+        output_model=prg2.output_model,
+    )
+    needed_functors: Set[str] = set()
+    merged_any = False
+    for r1 in prg1.rules:
+        if r1.head is None:
+            continue
+        functor = r1.head.term.functor
+        pattern = Pattern(functor, [r1.head.tree])
+        reserved = {v.name for v in r1.variables()}
+        try:
+            derived = derive_rule(
+                prg2,
+                pattern,
+                r1.head.tree,
+                context_model=intermediate,
+                name=f"{prg2.name}_{functor}",
+                reserved=reserved,
+            )
+        except CustomizationError:
+            continue  # prg2 does not convert this output type
+        merged = _merge(r1, derived, functor)
+        composed.add_rule(merged)
+        merged_any = True
+        needed_functors.update(_pending_deref_functors(merged, prg2))
+    if not merged_any:
+        raise CompositionError(
+            f"no rule of {prg2.name!r} applies to any output pattern of "
+            f"{prg1.name!r}; composition is empty"
+        )
+    # A composed head may keep run-time dereferences (holes that could
+    # not be specialized); the prg2 rules defining those functors are
+    # carried over so the composed program stays self-contained.
+    _carry_support_rules(composed, prg2, needed_functors)
+    return composed
+
+
+def _merge(r1: Rule, derived: Rule, functor: str) -> Rule:
+    """Merge prg1's rule with the rule derived from prg2 on its head
+    pattern: the derived body's root pattern (syntactically identical to
+    r1's head) is replaced by r1's body, and the Skolem argument that
+    stood for the whole intermediate pattern is replaced by r1's own
+    Skolem arguments."""
+    assert r1.head is not None and derived.head is not None
+    replacement = list(r1.head.term.args)
+    head_tree = _substitute_skolem_args(derived.head.tree, functor, replacement)
+    head_args = _expand_args(derived.head.term.args, functor, replacement)
+    head = HeadPattern(NameTerm(derived.head.term.functor, head_args), head_tree)
+    body = list(r1.body) + [
+        bp for bp in derived.body if bp.name.name != functor
+    ]
+    return Rule(
+        f"{r1.name}+{derived.name}",
+        head,
+        body,
+        list(r1.predicates) + list(derived.predicates),
+        list(r1.calls) + list(derived.calls),
+    )
+
+
+def _expand_args(args: Sequence, functor: str, replacement: Sequence) -> List:
+    """Replace occurrences of the intermediate pattern variable (named
+    after its functor) by prg1's Skolem arguments. A rule whose Skolem
+    takes no argument contributes the functor name as a constant
+    argument, keeping identifiers distinct across functors."""
+    expanded: List = []
+    for arg in args:
+        if isinstance(arg, (Var, PatternVar)) and arg.name == functor:
+            if replacement:
+                expanded.extend(replacement)
+            else:
+                expanded.append(functor)
+        else:
+            expanded.append(arg)
+    return expanded
+
+
+def _substitute_skolem_args(
+    node: PChild, functor: str, replacement: Sequence
+) -> PChild:
+    if isinstance(node, PNameLeaf):
+        return PNameLeaf(
+            NameTerm(
+                node.term.functor,
+                _expand_args(node.term.args, functor, replacement),
+            )
+        )
+    if isinstance(node, PRefLeaf):
+        target = node.target
+        if isinstance(target, NameTerm):
+            return PRefLeaf(
+                NameTerm(
+                    target.functor, _expand_args(target.args, functor, replacement)
+                )
+            )
+        if target.name == functor and len(replacement) == 1 and isinstance(
+            replacement[0], (Var, PatternVar)
+        ):
+            return PRefLeaf(PatternVar(replacement[0].name))
+        return node
+    if isinstance(node, PNode):
+        edges = [
+            edge.with_target(_substitute_skolem_args(edge.target, functor, replacement))
+            for edge in node.edges
+        ]
+        return PNode(node.label, edges)
+    return node
+
+
+def _pending_deref_functors(rule: Rule, prg2: Program) -> Set[str]:
+    """Functors of run-time dereferences left in a composed head that
+    prg2 defines (these need support rules)."""
+    if rule.head is None:
+        return set()
+    defined = {r.head_functor for r in prg2.rules if r.head_functor}
+    found: Set[str] = set()
+    for term, is_reference in rule.head.skolem_occurrences():
+        if not is_reference and term.functor in defined:
+            found.add(term.functor)
+    return found
+
+
+def _carry_support_rules(
+    composed: Program, prg2: Program, functors: Set[str]
+) -> None:
+    if not functors:
+        return
+    # Transitively include every prg2 rule whose functor is reachable
+    # through dereferences from the needed set.
+    frontier = set(functors)
+    included: Set[str] = set()
+    while frontier:
+        functor = frontier.pop()
+        if functor in included:
+            continue
+        included.add(functor)
+        for rule in prg2.rules:
+            if rule.head_functor != functor or rule.head is None:
+                continue
+            for term, is_reference in rule.head.skolem_occurrences():
+                if not is_reference:
+                    frontier.add(term.functor)
+    for rule in prg2.rules:
+        if rule.head_functor in included:
+            carried = Rule(
+                f"{prg2.name}.{rule.name}",
+                rule.head,
+                rule.body,
+                rule.predicates,
+                rule.calls,
+            )
+            composed.add_rule(carried)

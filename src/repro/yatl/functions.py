@@ -1,0 +1,263 @@
+"""External functions and predicates (Section 3.1, phase 2).
+
+"External functions are typed. This means that a type filter is applied
+on the set of variable bindings before they are evaluated." — a
+:class:`FunctionRegistry` holds named functions with domain signatures;
+bindings whose argument values fall outside an argument's domain are
+silently filtered out, as are bindings for which a boolean predicate
+returns false.
+
+The registry ships the functions used throughout the paper: ``city`` and
+``zip`` (address extraction, Rule 1), ``sameaddress`` (Rule 3),
+``data_to_string`` (rules Web1/Web2) and ``exception`` (Rule Exception).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.labels import Label, Symbol, is_atom
+from ..core.trees import Ref, Tree
+from ..core.variables import ANY, Domain, STRING
+from ..errors import FunctionError, UnconvertedDataError
+
+#: Values external functions see: constants or whole trees (for pattern
+#: variables, e.g. ``data_to_string(Data)``).
+Value = Union[Label, Tree, Ref]
+
+
+class ExternalFunction:
+    """A registered external function with its typed signature."""
+
+    __slots__ = ("name", "fn", "arg_domains", "result_domain")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., object],
+        arg_domains: Sequence[Domain] = (),
+        result_domain: Domain = ANY,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.arg_domains = tuple(arg_domains)
+        self.result_domain = result_domain
+
+    def accepts(self, args: Sequence[Value]) -> bool:
+        """The paper's type filter: every constant argument must belong
+        to the declared domain. Tree-valued arguments (pattern
+        variables) pass through untyped."""
+        if self.arg_domains and len(args) != len(self.arg_domains):
+            return False
+        for domain, value in zip(self.arg_domains, args):
+            if isinstance(value, (Tree, Ref)):
+                continue
+            if not domain.contains(value):
+                return False
+        return True
+
+    def __call__(self, *args: Value) -> object:
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        domains = ", ".join(d.render() for d in self.arg_domains) or "..."
+        return f"ExternalFunction({self.name}({domains}) -> {self.result_domain.render()})"
+
+
+class FunctionRegistry:
+    """Name → external function table, shared by a program's rules."""
+
+    def __init__(self, parent: Optional["FunctionRegistry"] = None) -> None:
+        self._functions: Dict[str, ExternalFunction] = {}
+        self._parent = parent
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[..., object],
+        arg_domains: Sequence[Domain] = (),
+        result_domain: Domain = ANY,
+    ) -> ExternalFunction:
+        wrapped = ExternalFunction(name, fn, arg_domains, result_domain)
+        self._functions[name] = wrapped
+        return wrapped
+
+    def get(self, name: str) -> ExternalFunction:
+        found = self._functions.get(name)
+        if found is None and self._parent is not None:
+            return self._parent.get(name)
+        if found is None:
+            raise FunctionError(f"unknown external function {name!r}")
+        return found
+
+    def has(self, name: str) -> bool:
+        if name in self._functions:
+            return True
+        return self._parent.has(name) if self._parent else False
+
+    def names(self) -> List[str]:
+        inherited = self._parent.names() if self._parent else []
+        return sorted(set(inherited) | set(self._functions))
+
+    def child(self) -> "FunctionRegistry":
+        """A registry layered on top of this one (program-local functions)."""
+        return FunctionRegistry(parent=self)
+
+
+# ---------------------------------------------------------------------------
+# Standard library
+# ---------------------------------------------------------------------------
+
+_ZIP_RE = re.compile(r"\b(\d{4,6})\b")
+
+
+def fn_city(address: str) -> str:
+    """Extract the city from a one-line address.
+
+    Addresses follow the loose convention of the paper's examples:
+    ``"Bd Lenoir, Paris 75005"`` — the city is the last alphabetic word
+    group after the final comma (or of the string when there is none).
+    """
+    tail = address.rsplit(",", 1)[-1]
+    words = [w for w in tail.replace(".", " ").split() if not w.isdigit()]
+    if not words:
+        raise FunctionError(f"cannot extract a city from {address!r}")
+    return " ".join(words)
+
+
+def fn_zip(address: str) -> int:
+    """Extract the numeric zip code from a one-line address."""
+    match = _ZIP_RE.search(address)
+    if match is None:
+        raise FunctionError(f"cannot extract a zip code from {address!r}")
+    return int(match.group(1))
+
+
+def _normalize_address(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", " ", text.lower()).strip()
+
+
+def fn_sameaddress(address: str, city: str, other: str) -> bool:
+    """Heterogeneity resolver of Rule 3: does the SGML address (a single
+    line including the city) denote the same place as the relational
+    (address, city) pair?"""
+    left = _normalize_address(address)
+    right = _normalize_address(f"{other} {city}")
+    right_no_city = _normalize_address(other)
+    return left == right or left == right_no_city or right_no_city in left
+
+
+def fn_data_to_string(data: Value) -> str:
+    """Rules Web1/Web2: render an atomic value (or symbol) as a string."""
+    if isinstance(data, Tree):
+        if data.is_leaf:
+            return fn_data_to_string(data.label)
+        raise FunctionError("data_to_string expects an atomic value")
+    if isinstance(data, Ref):
+        return f"&{data.target}"
+    if isinstance(data, bool):
+        return "true" if data else "false"
+    if isinstance(data, Symbol):
+        return data.name
+    if is_atom(data):
+        return str(data)
+    raise FunctionError(f"data_to_string: unsupported value {data!r}")
+
+
+def fn_exception(data: Value) -> bool:
+    """The Rule Exception function of Section 3.5."""
+    raise UnconvertedDataError(f"input data not converted by any rule: {data!r}")
+
+
+def fn_concat(*parts: Value) -> str:
+    return "".join(fn_data_to_string(p) for p in parts)
+
+
+def fn_lower(text: str) -> str:
+    return text.lower()
+
+
+def fn_upper(text: str) -> str:
+    return text.upper()
+
+
+def fn_length(value: Value) -> int:
+    if isinstance(value, Tree):
+        return len(value.children)
+    if isinstance(value, str):
+        return len(value)
+    raise FunctionError(f"length: unsupported value {value!r}")
+
+
+def fn_att_label(att: Value) -> str:
+    """Display label for an attribute or tuple-field name, used by the
+    O2Web program (``name`` → ``"name: "``)."""
+    if isinstance(att, Symbol):
+        return f"{att.name}: "
+    if isinstance(att, str):
+        return f"{att}: "
+    raise FunctionError(f"att_label expects a symbol, got {att!r}")
+
+
+def standard_registry() -> FunctionRegistry:
+    """A registry preloaded with the paper's external functions."""
+    registry = FunctionRegistry()
+    registry.register("city", fn_city, [STRING], STRING)
+    registry.register("zip", fn_zip, [STRING])
+    registry.register("sameaddress", fn_sameaddress, [STRING, STRING, STRING])
+    registry.register("data_to_string", fn_data_to_string, [ANY], STRING)
+    registry.register("exception", fn_exception, [ANY])
+    registry.register("concat", fn_concat)
+    registry.register("lower", fn_lower, [STRING], STRING)
+    registry.register("upper", fn_upper, [STRING], STRING)
+    registry.register("length", fn_length, [ANY])
+    registry.register("att_label", fn_att_label, [ANY], STRING)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation
+# ---------------------------------------------------------------------------
+
+_COMPARABLE_KINDS = {
+    "number": (int, float),
+    "string": (str,),
+}
+
+
+def _comparison_kind(value: Value) -> Optional[str]:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, Symbol):
+        return "symbol"
+    return None
+
+
+def evaluate_comparison(left: Value, op: str, right: Value) -> bool:
+    """Evaluate a predicate. Equality works on any values (including
+    trees); order comparisons require mutually comparable constants —
+    incomparable bindings are filtered out (return False), matching the
+    type-filter semantics of phase 2."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    left_kind = _comparison_kind(left)
+    if left_kind != _comparison_kind(right) or left_kind in (None, "bool"):
+        return False
+    if left_kind == "symbol":
+        left, right = left.name, right.name  # type: ignore[union-attr]
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise FunctionError(f"unknown comparison operator {op!r}")

@@ -1,0 +1,578 @@
+"""The YATL interpreter (Sections 3.1, 3.4, 4.2).
+
+A rule application processes its input in five phases:
+
+1. match the body patterns, producing variable bindings;
+2. evaluate external functions (after the type filter);
+3. apply predicates to filter the bindings;
+4. evaluate Skolem functions (global to the program);
+5. construct the output patterns and associate them to their names.
+
+Program evaluation adds: rule-hierarchy dispatch (more specific rules
+shadow general ones per input, Section 4.2), demand-driven evaluation of
+dereferenced Skolems on subtrees (the safe-recursive programs of
+Sections 3.4/4.1), dereference splicing "at the end of rules
+processing", and the optional run-time typing of Section 3.5 (inputs
+converted by no rule raise, or feed empty-head fallback rules).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.trees import DataStore, Ref, Tree
+from ..errors import (
+    CyclicProgramError,
+    DanglingReferenceError,
+    FunctionError,
+    UnconvertedDataError,
+)
+from .ast import Expr, FunctionCall, Rule
+from .bindings import Binding, Value
+from .construction import (
+    Constructor,
+    Unbound,
+    deref_target,
+    is_deref_placeholder,
+)
+from .functions import FunctionRegistry, evaluate_comparison, standard_registry
+from .hierarchy import Hierarchy
+from .matching import MatchContext, match_body
+from .skolem import SkolemTable
+from ..core.variables import PatternVar, Var
+
+
+class ConversionResult:
+    """Outcome of a program run.
+
+    ``store`` maps generated identifiers to their (dereferenced) trees;
+    ``skolems`` exposes the Skolem table for identifier introspection;
+    ``unconverted`` lists input trees no rule matched; ``warnings``
+    collects non-fatal anomalies (filtered function errors, dangling
+    references in non-strict mode...).
+    """
+
+    def __init__(
+        self,
+        store: DataStore,
+        skolems: SkolemTable,
+        unconverted: List[Tree],
+        warnings: List[str],
+        provenance: Optional[Dict[str, Set[str]]] = None,
+    ) -> None:
+        self.store = store
+        self.skolems = skolems
+        self.unconverted = unconverted
+        self.warnings = warnings
+        #: output identifier -> names of the input trees it derives from
+        self.provenance: Dict[str, Set[str]] = provenance or {}
+
+    def ids_of(self, functor: str) -> List[str]:
+        """Identifiers generated for a Skolem functor, in creation order."""
+        return [i for i in self.skolems.ids_of_functor(functor) if i in self.store]
+
+    def trees_of(self, functor: str) -> List[Tree]:
+        return [self.store.get(i) for i in self.ids_of(functor)]
+
+    def tree(self, identifier: str) -> Tree:
+        return self.store.get(identifier)
+
+    def lineage(self, identifier: str) -> Set[str]:
+        """The input-tree names an output was derived from (mediator
+        lineage — which sources fed this integrated object)."""
+        return set(self.provenance.get(identifier, set()))
+
+    def derived_from(self, input_name: str) -> List[str]:
+        """Outputs whose derivation involved the named input tree."""
+        return [
+            identifier
+            for identifier in self.store.names()
+            if input_name in self.provenance.get(identifier, ())
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ConversionResult({len(self.store)} trees, "
+            f"{len(self.unconverted)} unconverted, "
+            f"{len(self.warnings)} warning(s))"
+        )
+
+
+class Interpreter:
+    """Evaluates a rule set over a data store.
+
+    Parameters
+    ----------
+    rules:
+        The program's rules (any iterable; order is the tie-break for
+        hierarchy dispatch).
+    registry:
+        External functions; defaults to the standard library.
+    model:
+        Optional model for typed pattern variables and name leaves.
+    hierarchy:
+        Prebuilt rule hierarchy; computed on demand otherwise.
+    runtime_typing:
+        Section 3.5's run-time check: raise
+        :class:`~repro.errors.UnconvertedDataError` when an input tree
+        is matched by no rule (unless a fallback rule handles it).
+    strict_refs:
+        Raise on dangling ``&`` references instead of warning.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        registry: Optional[FunctionRegistry] = None,
+        model=None,
+        hierarchy: Optional[Hierarchy] = None,
+        runtime_typing: bool = False,
+        strict_refs: bool = False,
+        max_demand_iterations: int = 100_000,
+        target_functors: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.registry = registry or standard_registry()
+        self.model = model
+        self.hierarchy = hierarchy or Hierarchy(self.rules, model=model)
+        self.runtime_typing = runtime_typing
+        self.strict_refs = strict_refs
+        self.max_demand_iterations = max_demand_iterations
+        # Targeted evaluation (the paper's future work: "querying the
+        # target data representation without materializing it"): when
+        # target functors are given, only the rules those functors
+        # transitively need — through Skolem references *and*
+        # dereferences — are evaluated.
+        self.needed_functors: Optional[Set[str]] = (
+            self._transitive_functors(target_functors)
+            if target_functors is not None
+            else None
+        )
+
+    def _transitive_functors(self, targets: Sequence[str]) -> Set[str]:
+        dependencies: Dict[str, Set[str]] = {}
+        for rule in self.rules:
+            if rule.head is None:
+                continue
+            functor = rule.head.term.functor
+            uses = dependencies.setdefault(functor, set())
+            for term, _ in rule.head.skolem_occurrences():
+                uses.add(term.functor)
+        needed: Set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            functor = frontier.pop()
+            if functor in needed:
+                continue
+            needed.add(functor)
+            frontier.extend(dependencies.get(functor, ()))
+        return needed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
+        store = _as_store(data)
+        state = _RunState(self, store)
+        state.apply_top_level()
+        state.demand_loop()
+        return state.finish()
+
+    # ------------------------------------------------------------------
+    # Phases 1-3 for one rule
+    # ------------------------------------------------------------------
+
+    def rule_bindings(
+        self,
+        rule: Rule,
+        input_trees: Sequence[Tree],
+        mctx: MatchContext,
+        warnings: List[str],
+    ) -> List[Binding]:
+        bindings = match_body(rule, input_trees, mctx)  # phase 1
+        if not bindings:
+            return []
+        bindings = self._evaluate_calls(rule, bindings, warnings)  # phase 2
+        return self._apply_predicates(rule, bindings)  # phase 3
+
+    def _evaluate_calls(
+        self, rule: Rule, bindings: List[Binding], warnings: List[str]
+    ) -> List[Binding]:
+        for call in rule.calls:
+            fn = self.registry.get(call.function)
+            surviving: List[Binding] = []
+            for binding in bindings:
+                args = _argument_values(call, binding)
+                if args is None or not fn.accepts(args):
+                    continue  # the paper's type filter
+                try:
+                    result = fn(*args)
+                except UnconvertedDataError:
+                    raise
+                except FunctionError as exc:
+                    warnings.append(
+                        f"rule {rule.name!r}: {call.function} filtered a "
+                        f"binding: {exc}"
+                    )
+                    continue
+                if call.result is None:
+                    if result:
+                        surviving.append(binding)
+                    continue
+                extended = binding.bind(call.result, result)  # type: ignore[arg-type]
+                if extended is not None:
+                    surviving.append(extended)
+            bindings = surviving
+            if not bindings:
+                break
+        return bindings
+
+    def _apply_predicates(self, rule: Rule, bindings: List[Binding]) -> List[Binding]:
+        for predicate in rule.predicates:
+            surviving = []
+            for binding in bindings:
+                left = _expr_value(predicate.left, binding)
+                right = _expr_value(predicate.right, binding)
+                if left is _MISSING or right is _MISSING:
+                    continue
+                if evaluate_comparison(left, predicate.op, right):
+                    surviving.append(binding)
+            bindings = surviving
+            if not bindings:
+                break
+        return bindings
+
+
+# ---------------------------------------------------------------------------
+# Run state
+# ---------------------------------------------------------------------------
+
+
+class _RunState:
+    """Mutable state of one program run."""
+
+    def __init__(self, interpreter: Interpreter, store: DataStore) -> None:
+        self.interp = interpreter
+        self.input_store = store
+        self.inputs = store.trees()
+        self.skolems = SkolemTable()
+        self.warnings: List[str] = []
+        self.match_ctx = MatchContext(store=store, model=interpreter.model)
+        self.constructor = Constructor(self.skolems, self._on_skolem)
+        # Demand-driven evaluation bookkeeping.
+        self.pending_deref: Set[str] = set()
+        self.pending_ref: Set[str] = set()
+        self.applied: Set[Tuple[str, Tree]] = set()  # (rule name, demand tree)
+        self.matched_inputs: Set[int] = set()  # ids of converted input trees
+        self.root_refs: Dict[str, Ref] = {}  # heads that built a bare reference
+        self.order = interpreter.hierarchy.specific_first()
+        # Provenance: output identifier -> names of the input trees it
+        # was derived from. Demand-driven outputs inherit the origins of
+        # the output whose construction demanded them.
+        self.provenance: Dict[str, Set[str]] = {}
+        self._input_names: Dict[int, str] = {
+            id(node): name for name, node in store
+        }
+        self._active_origins: Set[str] = set()
+
+    # -- Skolem callback ------------------------------------------------------
+
+    def _on_skolem(self, identifier: str, term, deref: bool) -> None:
+        if deref:
+            self.pending_deref.add(identifier)
+        else:
+            self.pending_ref.add(identifier)
+        if self._active_origins:
+            self.provenance.setdefault(identifier, set()).update(
+                self._active_origins
+            )
+
+    # -- top-level application --------------------------------------------------
+
+    def apply_top_level(self) -> None:
+        """Apply every rule over the whole input set, with hierarchy
+        shadowing per root input tree and fallback rules last."""
+        matched_by: Dict[int, Set[str]] = {}  # input tree id -> rule names
+        needed = self.interp.needed_functors
+        for rule in self.order:
+            if rule.is_fallback:
+                continue
+            if needed is not None and rule.head_functor not in needed:
+                continue  # targeted evaluation: this output is not queried
+            self._apply_rule_with_shadowing(rule, matched_by)
+        # Fallback (empty-head) rules: only over unconverted inputs.
+        leftovers = [t for t in self.inputs if id(t) not in self.matched_inputs]
+        if leftovers:
+            for rule in self.order:
+                if not rule.is_fallback:
+                    continue
+                self.interp.rule_bindings(
+                    rule, leftovers, self.match_ctx, self.warnings
+                )
+            if self.interp.runtime_typing and not any(
+                r.is_fallback for r in self.order
+            ):
+                raise UnconvertedDataError(
+                    f"{len(leftovers)} input tree(s) matched by no rule "
+                    f"(first: {str(leftovers[0])[:80]!r})"
+                )
+
+    def _apply_rule_with_shadowing(
+        self, rule: Rule, matched_by: Dict[int, Set[str]]
+    ) -> None:
+        roots = rule.root_body_patterns()
+        single_root = roots[0].name.name if len(roots) == 1 else None
+        bindings = self.interp.rule_bindings(
+            rule, self.inputs, self.match_ctx, self.warnings
+        )
+        if not bindings:
+            return
+        if single_root is not None:
+            kept: List[Binding] = []
+            for binding in bindings:
+                root_tree = binding.get(single_root)
+                key = id(root_tree)
+                names = matched_by.setdefault(key, set())
+                if self.interp.hierarchy.shadowed(rule, names):
+                    continue
+                kept.append(binding)
+            if not kept:
+                return
+            for binding in kept:
+                root_tree = binding.get(single_root)
+                matched_by.setdefault(id(root_tree), set()).add(rule.name)
+                self.matched_inputs.add(id(root_tree))
+            bindings = kept
+        else:
+            for binding in bindings:
+                for bp in roots:
+                    root_tree = binding.get(bp.name.name)
+                    if root_tree is not None:
+                        self.matched_inputs.add(id(root_tree))
+        self._construct_outputs(rule, bindings)
+
+    # -- phases 4-5 -------------------------------------------------------------
+
+    def _construct_outputs(self, rule: Rule, bindings: List[Binding]) -> None:
+        if rule.head is None:
+            return
+        head = rule.head
+        groups: Dict[str, List[Binding]] = {}
+        order: List[str] = []
+        for binding in bindings:
+            try:
+                identifier = self.constructor.skolem_id(head.term, binding, False)
+            except Unbound:
+                continue  # missing Skolem argument: no output for it
+            if identifier not in groups:
+                groups[identifier] = []
+                order.append(identifier)
+            groups[identifier].append(binding)
+        root_names = [bp.name.name for bp in rule.root_body_patterns()]
+        for identifier in order:
+            group = groups[identifier]
+            origins = self._origins_of(group, root_names)
+            self.provenance.setdefault(identifier, set()).update(origins)
+            previous_origins = self._active_origins
+            self._active_origins = self.provenance[identifier]
+            try:
+                value = self.constructor.construct(head.tree, group)
+            except Unbound as unbound:
+                self.warnings.append(
+                    f"rule {rule.name!r}: output {identifier} skipped "
+                    f"(unbound {unbound.name})"
+                )
+                continue
+            finally:
+                self._active_origins = previous_origins
+            if isinstance(value, Ref):
+                self.root_refs[identifier] = value
+            else:
+                self.skolems.associate(identifier, value)
+            self.pending_ref.discard(identifier)
+            self.pending_deref.discard(identifier)
+
+    def _origins_of(self, group: List[Binding], root_names: List[str]) -> Set[str]:
+        """Input-tree names contributing to one Skolem group: top-level
+        root matches, plus (for demand-driven applications) the origins
+        of the demanding output."""
+        origins: Set[str] = set(self._active_origins)
+        for binding in group:
+            for name in root_names:
+                value = binding.get(name)
+                input_name = self._input_names.get(id(value))
+                if input_name is not None:
+                    origins.add(input_name)
+        return origins
+
+    # -- demand-driven evaluation -------------------------------------------------
+
+    def demand_loop(self) -> None:
+        """Evaluate pending dereferenced Skolems on their subtree
+        arguments until quiescence (safe recursion, Section 3.4)."""
+        by_functor: Dict[str, List[Rule]] = {}
+        for rule in self.order:
+            if rule.head is not None:
+                by_functor.setdefault(rule.head.term.functor, []).append(rule)
+        iterations = 0
+        while True:
+            pending = [
+                i
+                for i in self.pending_deref
+                if not self.skolems.has_value(i) and i not in self.root_refs
+            ]
+            if not pending:
+                break
+            progressed = False
+            for identifier in pending:
+                iterations += 1
+                if iterations > self.interp.max_demand_iterations:
+                    raise CyclicProgramError(
+                        "demand-driven evaluation did not converge "
+                        f"(> {self.interp.max_demand_iterations} steps): "
+                        "the program is likely cyclic"
+                    )
+                if self._demand(identifier, by_functor):
+                    progressed = True
+            if not progressed:
+                break
+
+    def _demand(self, identifier: str, by_functor: Dict[str, List[Rule]]) -> bool:
+        functor, args = self.skolems.key_of(identifier)
+        defining = by_functor.get(functor, ())
+        if not defining:
+            return False
+        subject: Optional[Union[Tree, Ref]] = None
+        for arg in args:
+            if isinstance(arg, (Tree, Ref)):
+                subject = arg
+                break
+        if subject is None:
+            return False
+        progressed = False
+        matched: Set[str] = set()
+        for rule in defining:
+            key = (rule.name, subject)
+            if key in self.applied:
+                continue
+            if self.interp.hierarchy.shadowed(rule, matched):
+                continue
+            self.applied.add(key)
+            bindings = self.interp.rule_bindings(
+                rule, [subject], self.match_ctx, self.warnings
+            )
+            if not bindings:
+                continue
+            matched.add(rule.name)
+            self._construct_outputs(rule, bindings)
+            progressed = True
+        return progressed
+
+    # -- final splicing ----------------------------------------------------------
+
+    def finish(self) -> ConversionResult:
+        resolved: Dict[str, Tree] = {}
+        in_progress: Set[str] = set()
+
+        def value_of(identifier: str, via_deref: bool) -> Tree:
+            if identifier in resolved:
+                return resolved[identifier]
+            if identifier in in_progress:
+                raise CyclicProgramError(
+                    f"cyclic dereferencing detected while splicing {identifier!r}"
+                )
+            raw = self.skolems.value(identifier)
+            if raw is None:
+                alias = self.root_refs.get(identifier)
+                if alias is not None:
+                    if is_deref_placeholder(alias):
+                        return value_of(deref_target(alias), True)
+                    return value_of(alias.target, False)
+                raise DanglingReferenceError(
+                    f"no value was associated to {identifier!r} "
+                    f"({_term_text(self.skolems, identifier)})"
+                )
+            in_progress.add(identifier)
+            try:
+                spliced = splice(raw)
+            finally:
+                in_progress.discard(identifier)
+            resolved[identifier] = spliced
+            return spliced
+
+        def splice(node: Tree) -> Tree:
+            def replace(ref: Ref):
+                if is_deref_placeholder(ref):
+                    return value_of(deref_target(ref), True)
+                return ref
+
+            return node.map_refs(replace)
+
+        output = DataStore()
+        for identifier in self.skolems.ids():
+            if not self.skolems.has_value(identifier) and identifier not in self.root_refs:
+                continue
+            try:
+                output.add(identifier, value_of(identifier, False))
+            except DanglingReferenceError:
+                raise
+        # Dangling plain references.
+        dangling = sorted(set(output.dangling_references()))
+        if dangling:
+            message = f"dangling reference(s) in output: {', '.join(dangling)}"
+            if self.interp.strict_refs:
+                raise DanglingReferenceError(message)
+            self.warnings.append(message)
+        unconverted = [t for t in self.inputs if id(t) not in self.matched_inputs]
+        provenance = {
+            identifier: origins
+            for identifier, origins in self.provenance.items()
+            if identifier in output
+        }
+        return ConversionResult(
+            output, self.skolems, unconverted, self.warnings, provenance
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+
+def _as_store(data: Union[DataStore, Sequence[Tree], Tree]) -> DataStore:
+    if isinstance(data, DataStore):
+        return data
+    if isinstance(data, Tree):
+        data = [data]
+    store = DataStore()
+    for index, node in enumerate(data, start=1):
+        store.add(f"in{index}", node)
+    return store
+
+
+def _argument_values(call: FunctionCall, binding: Binding) -> Optional[List[Value]]:
+    values: List[Value] = []
+    for arg in call.args:
+        if isinstance(arg, (Var, PatternVar)):
+            if arg not in binding:
+                return None
+            values.append(binding[arg])
+        else:
+            values.append(arg)
+    return values
+
+
+def _expr_value(expr: Expr, binding: Binding):
+    if isinstance(expr, (Var, PatternVar)):
+        if expr not in binding:
+            return _MISSING
+        return binding[expr]
+    return expr
+
+
+def _term_text(skolems: SkolemTable, identifier: str) -> str:
+    functor, args = skolems.key_of(identifier)
+    return f"{functor}/{len(args)}"

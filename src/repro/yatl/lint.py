@@ -1,0 +1,218 @@
+"""Specification-time diagnostics for YATL rules.
+
+The paper's graphical editor keeps programmers from writing broken
+rules; this linter provides the equivalent checks for the textual
+syntax: head variables no body pattern or function call can bind,
+Skolem arguments that are never bound, unknown external functions,
+body patterns that can never match, and suspicious fallback rules.
+
+Diagnostics carry a severity: ``error`` (the rule can never produce
+output / will raise), ``warning`` (likely a mistake) or ``note``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..core.patterns import GROUP, ORDER, collect_variables, walk_edges
+from ..core.variables import PatternVar, Var
+from .ast import Rule
+from .functions import FunctionRegistry
+from .program import Program
+
+
+class Diagnostic:
+    SEVERITIES = ("error", "warning", "note")
+
+    def __init__(self, severity: str, rule: str, message: str) -> None:
+        assert severity in self.SEVERITIES
+        self.severity = severity
+        self.rule = rule
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Diagnostic)
+            and (other.severity, other.rule, other.message)
+            == (self.severity, self.rule, self.message)
+        )
+
+
+def lint_rule(
+    rule: Rule, registry: Optional[FunctionRegistry] = None
+) -> List[Diagnostic]:
+    """All diagnostics for one rule."""
+    diagnostics: List[Diagnostic] = []
+    bound = _bindable_variables(rule)
+    produced = set(bound)
+    for call in rule.calls:
+        if call.result is not None:
+            produced.add(call.result.name)
+
+    # 1. head variables that nothing binds
+    if rule.head is not None:
+        for var in sorted(
+            {v.name for v in rule.head.variables()} - produced
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    rule.name,
+                    f"head variable {var!r} is bound by no body pattern or "
+                    f"function call; the output will be skipped at run time",
+                )
+            )
+
+    # 2. Skolem arguments in the head term that nothing binds
+    if rule.head is not None:
+        for arg in rule.head.term.args:
+            if isinstance(arg, (Var, PatternVar)) and arg.name not in produced:
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        rule.name,
+                        f"Skolem argument {arg.name!r} is never bound",
+                    )
+                )
+
+    # 3. unknown external functions
+    if registry is not None:
+        for call in rule.calls:
+            if not registry.has(call.function):
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        rule.name,
+                        f"unknown external function {call.function!r}",
+                    )
+                )
+
+    # 4. function arguments / predicate operands that nothing binds
+    for call in rule.calls:
+        for arg in call.args:
+            if isinstance(arg, (Var, PatternVar)) and arg.name not in bound:
+                diagnostics.append(
+                    Diagnostic(
+                        "warning",
+                        rule.name,
+                        f"argument {arg.name!r} of {call.function} is bound "
+                        f"by no body pattern; the call will filter every "
+                        f"binding",
+                    )
+                )
+    for predicate in rule.predicates:
+        for operand in (predicate.left, predicate.right):
+            if isinstance(operand, (Var, PatternVar)) and operand.name not in bound:
+                diagnostics.append(
+                    Diagnostic(
+                        "warning",
+                        rule.name,
+                        f"predicate operand {operand.name!r} is bound by no "
+                        f"body pattern",
+                    )
+                )
+
+    # 5. head-only collection edges appearing in a body
+    for bp in rule.body:
+        for edge in walk_edges(bp.tree):
+            if edge.kind in (GROUP, ORDER):
+                diagnostics.append(
+                    Diagnostic(
+                        "warning",
+                        rule.name,
+                        f"body pattern {bp.name.name!r} uses a head-only "
+                        f"{edge.indicator()} edge (treated as '*' when "
+                        f"matching)",
+                    )
+                )
+
+    # 6. dependent body patterns whose name nothing can bind
+    root_names = {bp.name.name for bp in rule.root_body_patterns()}
+    bindable_names = set(root_names)
+    for bp in rule.body:
+        for var in collect_variables(bp.tree):
+            if isinstance(var, PatternVar):
+                bindable_names.add(var.name)
+    for bp in rule.body:
+        if bp.name.name not in bindable_names:
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    rule.name,
+                    f"body pattern {bp.name.name!r} depends on a name never "
+                    f"bound by any other pattern",
+                )
+            )
+
+    # 7. fallback rules should do something observable
+    if rule.head is None and not rule.calls:
+        diagnostics.append(
+            Diagnostic(
+                "note",
+                rule.name,
+                "empty-head rule with no function call: it matches inputs "
+                "but has no observable effect",
+            )
+        )
+
+    # 8. unused body variables (informational)
+    used: Set[str] = set()
+    if rule.head is not None:
+        used |= {v.name for v in rule.head.variables()}
+    for call in rule.calls:
+        used |= {v.name for v in call.variables()}
+    for predicate in rule.predicates:
+        used |= {v.name for v in predicate.variables()}
+    unused = sorted(bound - used)
+    if unused and rule.head is not None:
+        diagnostics.append(
+            Diagnostic(
+                "note",
+                rule.name,
+                f"body variable(s) never used: {', '.join(unused)}",
+            )
+        )
+    return diagnostics
+
+
+def _bindable_variables(rule: Rule) -> Set[str]:
+    bound: Set[str] = set()
+    for bp in rule.body:
+        bound.add(bp.name.name)
+        bound |= {v.name for v in collect_variables(bp.tree)}
+    return bound
+
+
+def lint_program(program: Program) -> List[Diagnostic]:
+    """Diagnostics for every rule, plus program-level checks."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        diagnostics.extend(lint_rule(rule, program.registry))
+    # program-level: Skolem functors referenced but never defined
+    defined = {r.head_functor for r in program.rules if r.head_functor}
+    for rule in program.rules:
+        if rule.head is None:
+            continue
+        for term, is_reference in rule.head.skolem_occurrences():
+            if term.functor not in defined:
+                severity = "warning" if is_reference else "error"
+                kind = "reference to" if is_reference else "dereference of"
+                diagnostics.append(
+                    Diagnostic(
+                        severity,
+                        rule.name,
+                        f"{kind} Skolem {term.functor!r}, which no rule of "
+                        f"this program defines",
+                    )
+                )
+    report = program.analyze_cycles()
+    for violation in report.violations:
+        diagnostics.append(Diagnostic("error", "<program>", violation))
+    return diagnostics
+
+
+def errors_of(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity == "error"]

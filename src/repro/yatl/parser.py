@@ -1,0 +1,243 @@
+"""Parser for YATL rules and programs.
+
+The grammar builds on the pattern syntax of :mod:`repro.core.syntax`::
+
+    program SgmlToOdmg
+
+    rule Rule1:
+      Psup(SN) :
+        class -> supplier < -> name -> SN,
+                            -> city -> C,
+                            -> zip -> Z >
+    <=
+      Pbr :
+        brochure < -> number -> Num,
+                   -> title -> T,
+                   -> model -> Year,
+                   -> desc -> D,
+                   *-> supplier < -> name -> SN, -> address -> Add > >,
+      Year > 1975,
+      C is city(Add),
+      Z is zip(Add)
+
+    end
+
+Body items are comma-separated: named patterns (``Name : tree``),
+predicates (``Year > 1975``), function calls (``C is city(Add)``) and
+boolean external predicates (``sameaddress(Add, C, Add2)``). An empty
+head is written ``()`` (the Rule Exception of Section 3.5).
+``hierarchy A under B`` enforces rule order (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..core.labels import Symbol
+from ..core.models import Model
+from ..core.patterns import NameTerm
+from ..core.syntax import (
+    TokenStream,
+    parse_name_args,
+    parse_model_from,
+    parse_pattern_child,
+    resolve_pattern_names,
+    tokenize,
+)
+from ..core.variables import PatternVar, Var
+from ..errors import SyntaxYatError
+from .ast import BodyPattern, Expr, FunctionCall, HeadPattern, Predicate, Rule
+from .functions import FunctionRegistry
+from .program import Program
+
+_COMPARE_TOKENS = {
+    "EQ": "=",
+    "NE": "!=",
+    "LT": "<",
+    "LE": "<=",
+    "GT": ">",
+    "GE": ">=",
+}
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def parse_rule(text: str, known_names: Iterable[str] = ()) -> Rule:
+    """Parse a single ``rule Name: head <= body`` declaration."""
+    stream = TokenStream(tokenize(text))
+    rule = parse_rule_from(stream, set(known_names))
+    stream.expect("EOF")
+    return rule
+
+
+def parse_rule_from(stream: TokenStream, known_names: Set[str]) -> Rule:
+    stream.expect("RULE")
+    name = stream.expect("UIDENT", "IDENT").value
+    stream.expect("COLON")
+    head = _parse_head(stream, known_names)
+    stream.expect("LE")  # the <= separator
+    body, predicates, calls = _parse_body(stream, known_names)
+    # Rule's constructor normalizes body references (rule Web6's `&Pobj`).
+    return Rule(name, head, body, predicates, calls)
+
+
+def _parse_head(stream: TokenStream, known_names: Set[str]) -> Optional[HeadPattern]:
+    if stream.at("LPAREN") and stream.peek(1).type == "RPAREN":
+        stream.next()
+        stream.next()
+        return None  # empty head
+    functor = stream.expect("UIDENT").value
+    args: List[Union[Var, PatternVar]] = []
+    if stream.at("LPAREN"):
+        args = parse_name_args(stream)
+    stream.expect("COLON")
+    tree = resolve_pattern_names(parse_pattern_child(stream), known_names)
+    return HeadPattern(NameTerm(functor, args), tree)
+
+
+def _parse_body(
+    stream: TokenStream, known_names: Set[str]
+) -> Tuple[List[BodyPattern], List[Predicate], List[FunctionCall]]:
+    body: List[BodyPattern] = []
+    predicates: List[Predicate] = []
+    calls: List[FunctionCall] = []
+    while True:
+        item = _parse_body_item(stream, known_names)
+        if isinstance(item, BodyPattern):
+            body.append(item)
+        elif isinstance(item, Predicate):
+            predicates.append(item)
+        else:
+            calls.append(item)
+        if not stream.accept("COMMA"):
+            break
+    return body, predicates, calls
+
+
+def _parse_body_item(
+    stream: TokenStream, known_names: Set[str]
+) -> Union[BodyPattern, Predicate, FunctionCall]:
+    token = stream.peek()
+    # UIDENT 'is' function(...)  -> function call with result
+    if token.type == "UIDENT" and stream.peek(1).type == "IS":
+        result = Var(stream.next().value)
+        stream.next()  # 'is'
+        function = stream.expect("IDENT").value
+        args = _parse_call_args(stream)
+        return FunctionCall(result, function, args)
+    # IDENT '(' ... ')'  -> boolean external predicate
+    if token.type == "IDENT" and stream.peek(1).type == "LPAREN":
+        function = stream.next().value
+        args = _parse_call_args(stream)
+        return FunctionCall(None, function, args)
+    # UIDENT ':' ...  -> named body pattern
+    if token.type == "UIDENT" and stream.peek(1).type == "COLON":
+        name = stream.next().value
+        stream.next()  # ':'
+        tree = resolve_pattern_names(parse_pattern_child(stream), known_names)
+        return BodyPattern(name, tree)
+    # otherwise: a predicate  expr op expr
+    left = _parse_expr(stream)
+    op_token = stream.expect(*_COMPARE_TOKENS)
+    right = _parse_expr(stream)
+    return Predicate(left, _COMPARE_TOKENS[op_token.type], right)
+
+
+def _parse_call_args(stream: TokenStream) -> List[Expr]:
+    stream.expect("LPAREN")
+    args: List[Expr] = []
+    if not stream.at("RPAREN"):
+        while True:
+            args.append(_parse_expr(stream))
+            if not stream.accept("COMMA"):
+                break
+    stream.expect("RPAREN")
+    return args
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.type == "UIDENT":
+        stream.next()
+        return Var(token.value)
+    if token.type == "IDENT":
+        stream.next()
+        return Symbol(token.value)
+    if token.type in ("STRING", "INT", "FLOAT", "BOOL"):
+        stream.next()
+        return token.value
+    raise SyntaxYatError(
+        f"expected an expression, found {token.value!r}", token.line, token.column
+    )
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+def parse_program(
+    text: str,
+    models: Optional[Dict[str, Model]] = None,
+    registry: Optional[FunctionRegistry] = None,
+) -> Program:
+    """Parse a full ``program ... end`` declaration.
+
+    ``models`` resolves ``input model Name`` / ``output model Name``
+    references (built-in models are always available).
+    """
+    from ..core.models import BUILTIN_MODELS
+
+    stream = TokenStream(tokenize(text))
+    stream.expect("PROGRAM")
+    name = stream.expect("UIDENT", "IDENT").value
+    input_model: Optional[Model] = None
+    output_model: Optional[Model] = None
+    known_names: Set[str] = set()
+
+    def resolve_model(model_name: str) -> Model:
+        if models and model_name in models:
+            return models[model_name]
+        if model_name in BUILTIN_MODELS:
+            return BUILTIN_MODELS[model_name]()
+        raise SyntaxYatError(f"unknown model {model_name!r}")
+
+    while stream.at("INPUT", "OUTPUT"):
+        direction = stream.next().type
+        if stream.at("MODEL") and stream.peek(2).type == "LBRACE":
+            model = parse_model_from(stream, known_names)
+        else:
+            stream.expect("MODEL")
+            model = resolve_model(stream.expect("UIDENT", "IDENT").value)
+        if direction == "INPUT":
+            input_model = model
+        else:
+            output_model = model
+        known_names.update(model.pattern_names())
+
+    program = Program(
+        name, registry=registry, input_model=input_model, output_model=output_model
+    )
+    while True:
+        if stream.at("RULE"):
+            program.add_rule(parse_rule_from(stream, known_names))
+        elif stream.at("HIERARCHY"):
+            stream.next()
+            specific = stream.expect("UIDENT", "IDENT").value
+            stream.expect("UNDER")
+            general = stream.expect("UIDENT", "IDENT").value
+            program.enforce_order(specific, general)
+        elif stream.accept("END"):
+            break
+        else:
+            token = stream.peek()
+            raise SyntaxYatError(
+                f"expected 'rule', 'hierarchy' or 'end', found {token.value!r}",
+                token.line,
+                token.column,
+            )
+    stream.expect("EOF")
+    return program

@@ -1,0 +1,58 @@
+"""Pretty-printing YATL rules and programs back to textual syntax.
+
+The output is re-parseable by :mod:`repro.yatl.parser`, which the
+library round-trip tests rely on (programs saved to the Section 5
+program library are stored in this form).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.patterns import render_pattern_tree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ast import Rule
+    from .program import Program
+
+
+def render_rule(rule: "Rule", indent: int = 0) -> str:
+    pad = " " * indent
+    lines = [f"{pad}rule {rule.name}:"]
+    if rule.head is None:
+        lines.append(f"{pad}  ()")
+    else:
+        lines.append(f"{pad}  {rule.head.term} :")
+        lines.append(render_pattern_tree(rule.head.tree, indent + 4))
+    lines.append(f"{pad}<=")
+    items = []
+    for bp in rule.body:
+        items.append(
+            f"{pad}  {bp.name.name} :\n{render_pattern_tree(bp.tree, indent + 4)}"
+        )
+    for predicate in rule.predicates:
+        items.append(f"{pad}  {predicate}")
+    for call in rule.calls:
+        items.append(f"{pad}  {call}")
+    lines.append(",\n".join(items))
+    return "\n".join(lines)
+
+
+def render_program(program: "Program") -> str:
+    from ..library.store import render_model  # deferred: store imports printer
+
+    lines = [f"program {program.name}"]
+    if program.input_model is not None:
+        lines.append("input " + render_model(program.input_model))
+    if program.output_model is not None:
+        lines.append("output " + render_model(program.output_model))
+    for rule in program.rules:
+        lines.append("")
+        lines.append(render_rule(rule))
+    # hierarchy clauses reference rules by name: emit them after the rules
+    for specific, general in program.enforced_order:
+        lines.append("")
+        lines.append(f"hierarchy {specific} under {general}")
+    lines.append("")
+    lines.append("end")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Execution tracing: explain what a conversion did.
+
+A mediator developer debugging a conversion needs to know which rules
+fired on which inputs, how many bindings each phase kept, and where
+every output came from. :func:`explain` runs a program with
+instrumentation and returns a :class:`Trace` whose ``report()`` prints
+a per-rule, per-phase account — the textual equivalent of watching the
+paper's graphical environment run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.trees import DataStore, Tree
+from .ast import Rule
+from .bindings import Binding
+from .interpreter import ConversionResult, Interpreter
+from .matching import MatchContext, match_body
+from .program import Program
+
+
+class RuleTrace:
+    """What one rule did during a run."""
+
+    def __init__(self, rule: str) -> None:
+        self.rule = rule
+        self.matched = 0  # bindings after phase 1
+        self.after_calls = 0  # after phase 2 (functions + type filter)
+        self.after_predicates = 0  # after phase 3
+        self.outputs: List[str] = []  # identifiers this rule built
+        self.applications = 0  # top-level + demand-driven applications
+
+    @property
+    def filtered_by_calls(self) -> int:
+        return self.matched - self.after_calls
+
+    @property
+    def filtered_by_predicates(self) -> int:
+        return self.after_calls - self.after_predicates
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleTrace({self.rule}: {self.matched} matched -> "
+            f"{self.after_predicates} kept -> {len(self.outputs)} output(s))"
+        )
+
+
+class Trace:
+    """The full account of one conversion run."""
+
+    def __init__(self) -> None:
+        self.rules: Dict[str, RuleTrace] = {}
+        self.result: Optional[ConversionResult] = None
+
+    def rule(self, name: str) -> RuleTrace:
+        if name not in self.rules:
+            self.rules[name] = RuleTrace(name)
+        return self.rules[name]
+
+    def report(self) -> str:
+        lines = ["conversion trace:"]
+        for trace in self.rules.values():
+            lines.append(
+                f"  {trace.rule}: applied {trace.applications}x, "
+                f"{trace.matched} binding(s) matched"
+            )
+            if trace.filtered_by_calls:
+                lines.append(
+                    f"    - {trace.filtered_by_calls} filtered by external "
+                    f"functions (type filter / errors)"
+                )
+            if trace.filtered_by_predicates:
+                lines.append(
+                    f"    - {trace.filtered_by_predicates} filtered by "
+                    f"predicates"
+                )
+            if trace.outputs:
+                preview = ", ".join(trace.outputs[:8])
+                more = "" if len(trace.outputs) <= 8 else ", ..."
+                lines.append(
+                    f"    -> {len(trace.outputs)} output(s): {preview}{more}"
+                )
+        if self.result is not None:
+            lines.append(
+                f"  total: {len(self.result.store)} output tree(s), "
+                f"{len(self.result.unconverted)} unconverted input(s), "
+                f"{len(self.result.warnings)} warning(s)"
+            )
+            for identifier in self.result.store.names():
+                origins = sorted(self.result.lineage(identifier))
+                if origins:
+                    lines.append(f"    {identifier} <- {', '.join(origins)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.rules)} rule(s))"
+
+
+class _TracingInterpreter(Interpreter):
+    """An interpreter that records per-rule phase statistics."""
+
+    def __init__(self, trace: Trace, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._trace = trace
+
+    def rule_bindings(
+        self,
+        rule: Rule,
+        input_trees: Sequence[Tree],
+        mctx: MatchContext,
+        warnings: List[str],
+    ) -> List[Binding]:
+        record = self._trace.rule(rule.name)
+        record.applications += 1
+        matched = match_body(rule, input_trees, mctx)
+        record.matched += len(matched)
+        if not matched:
+            return []
+        after_calls = self._evaluate_calls(rule, matched, warnings)
+        record.after_calls += len(after_calls)
+        kept = self._apply_predicates(rule, after_calls)
+        record.after_predicates += len(kept)
+        return kept
+
+
+def explain(
+    program: Program,
+    data: Union[DataStore, Sequence[Tree], Tree],
+    **run_options,
+) -> Trace:
+    """Run *program* over *data* with tracing; see :class:`Trace`."""
+    program.validate()
+    trace = Trace()
+    interpreter = _TracingInterpreter(
+        trace,
+        program.rules,
+        registry=program.registry,
+        model=program._context_model(),
+        hierarchy=program.hierarchy(),
+        **run_options,
+    )
+    result = interpreter.run(data)
+    trace.result = result
+    # attribute outputs to the rules that own their functors
+    by_functor: Dict[str, List[str]] = {}
+    for rule in program.rules:
+        if rule.head_functor:
+            by_functor.setdefault(rule.head_functor, []).append(rule.name)
+    for identifier in result.store.names():
+        functor = result.skolems.functor_of(identifier)
+        owners = by_functor.get(functor, [])
+        if len(owners) == 1:
+            trace.rule(owners[0]).outputs.append(identifier)
+        else:
+            for owner in owners:
+                trace.rule(owner)  # ensure presence; ownership ambiguous
+    return trace

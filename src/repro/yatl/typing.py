@@ -1,0 +1,192 @@
+"""Typing in YATL (Section 3.5).
+
+"Input and output models can easily be inferred by considering the
+program (i) input and output patterns, (ii) predicate/function
+signatures and (iii) variable domains."
+
+The couple of inferred models is the program's **signature**
+``M_IN |-> M_OUT``. It is used to check composition compatibility
+(Section 4.3) and to verify that a program's input or output complies
+with a more general model (e.g. that generated objects are ODMG
+compliant). Typing is optional: programs run without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.instantiation import model_is_instance
+from ..core.labels import Label, atom_type_name, is_atom
+from ..core.models import Model
+from ..core.patterns import PChild, PNode, Pattern
+from ..core.variables import (
+    ANY,
+    AnyDomain,
+    Domain,
+    PatternVar,
+    Var,
+    domain_by_name,
+)
+from ..errors import TypingError
+from .ast import Expr, Rule
+from .functions import FunctionRegistry
+
+
+class Signature:
+    """A program signature: the inferred input and output models."""
+
+    def __init__(self, input_model: Model, output_model: Model) -> None:
+        self.input_model = input_model
+        self.output_model = output_model
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature({self.input_model.pattern_names()} |-> "
+            f"{self.output_model.pattern_names()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Variable domain refinement
+# ---------------------------------------------------------------------------
+
+
+def _domain_of_constant(value: Label) -> Domain:
+    if is_atom(value):
+        return domain_by_name(atom_type_name(value))
+    return ANY
+
+
+def refine_domains(rule: Rule, registry: Optional[FunctionRegistry]) -> Dict[str, Domain]:
+    """Per-variable domain restrictions implied by the rule's predicates
+    and external function signatures.
+
+    ``Year > 1975`` restricts ``Year`` to ``int``; ``C is city(Add)``
+    restricts ``Add`` to the signature's argument domain and ``C`` to
+    its result domain.
+    """
+    domains: Dict[str, Domain] = {}
+
+    def restrict(expr: Expr, domain: Domain) -> None:
+        if isinstance(domain, AnyDomain) or not isinstance(expr, Var):
+            return
+        existing = domains.get(expr.name)
+        if existing is None or domain.subset_of(existing):
+            domains[expr.name] = domain
+        # Incompatible restrictions are kept as the first one; a full
+        # intersection lattice is not needed for the paper's examples.
+
+    for predicate in rule.predicates:
+        if predicate.op in ("<", "<=", ">", ">="):
+            for this, other in (
+                (predicate.left, predicate.right),
+                (predicate.right, predicate.left),
+            ):
+                if isinstance(this, Var) and not isinstance(other, (Var, PatternVar)):
+                    restrict(this, _domain_of_constant(other))
+    if registry is not None:
+        for call in rule.calls:
+            if not registry.has(call.function):
+                continue
+            fn = registry.get(call.function)
+            for domain, arg in zip(fn.arg_domains, call.args):
+                restrict(arg, domain)
+            if call.result is not None:
+                restrict(call.result, fn.result_domain)
+    return domains
+
+
+def apply_domains(tree: PChild, domains: Dict[str, Domain]) -> PChild:
+    """Rebuild a pattern tree, narrowing variable domains."""
+    if isinstance(tree, PNode):
+        label = tree.label
+        if isinstance(label, Var) and label.name in domains and label.domain == ANY:
+            label = Var(label.name, domains[label.name])
+        edges = [
+            edge.with_target(apply_domains(edge.target, domains))
+            for edge in tree.edges
+        ]
+        return PNode(label, edges)
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Signature inference
+# ---------------------------------------------------------------------------
+
+
+def infer_signature(
+    rules: Sequence[Rule],
+    registry: Optional[FunctionRegistry] = None,
+    name: str = "program",
+) -> Signature:
+    """Infer ``M_IN |-> M_OUT`` for a rule set.
+
+    Body patterns named identically across rules union their trees into
+    one input pattern; likewise head patterns sharing a Skolem functor
+    union into one output pattern.
+    """
+    input_alts: Dict[str, List[PChild]] = {}
+    output_alts: Dict[str, List[PChild]] = {}
+    for rule in rules:
+        domains = refine_domains(rule, registry)
+        for bp in rule.body:
+            refined = apply_domains(bp.tree, domains)
+            alts = input_alts.setdefault(bp.name.name, [])
+            if refined not in alts:
+                alts.append(refined)
+        if rule.head is not None:
+            refined = apply_domains(rule.head.tree, domains)
+            alts = output_alts.setdefault(rule.head.term.functor, [])
+            if refined not in alts:
+                alts.append(refined)
+    input_model = Model(f"in({name})")
+    for pattern_name, alts in input_alts.items():
+        input_model.add(Pattern(pattern_name, alts))
+    output_model = Model(f"out({name})")
+    for pattern_name, alts in output_alts.items():
+        output_model.add(Pattern(pattern_name, alts))
+    return Signature(input_model, output_model)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def check_input_against(signature: Signature, general: Model) -> None:
+    """Verify the inferred input model is an instance of *general*.
+
+    Like all Section 3.5 checks on *inferred* models, this is lenient
+    about variable domains: inference leaves many variables with the
+    default domain, and "typing in YAT is in no way constraining".
+    """
+    if not model_is_instance(signature.input_model, general, lenient=True):
+        raise TypingError(
+            f"input model {signature.input_model.name!r} is not an instance "
+            f"of {general.name!r}"
+        )
+
+
+def check_output_against(signature: Signature, general: Model) -> None:
+    """Verify the inferred output model is an instance of *general* —
+    e.g. "check that a program generates car and supplier objects
+    compliant with ... the ODMG model". Lenient about variable domains
+    (see :func:`check_input_against`)."""
+    if not model_is_instance(signature.output_model, general, lenient=True):
+        raise TypingError(
+            f"output model {signature.output_model.name!r} is not an instance "
+            f"of {general.name!r}"
+        )
+
+
+def compatible_for_composition(out_model: Model, in_model: Model) -> bool:
+    """Section 4.3 compatibility: is ``M_2`` (the output model of prg1)
+    an instance of ``M_2'`` (the input model of prg2)?
+
+    The check is *lenient* about variable domains (they must intersect,
+    not be included): inferred output models leave many variables with
+    the default domain, and YAT typing "is in no way constraining" —
+    the instantiation of prg2 on the actual patterns is the real gate.
+    """
+    return model_is_instance(out_model, in_model, lenient=True)

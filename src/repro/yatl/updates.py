@@ -1,0 +1,84 @@
+"""Update propagation helpers (the paper's second future-work item:
+"the management of updates of both source and target data").
+
+Two building blocks:
+
+* :func:`affected_outputs` — given the provenance a run recorded, which
+  outputs must be recomputed when some inputs change;
+* :func:`diff_results` — compare two conversion results *by Skolem
+  term* (identifiers may renumber between runs), yielding the
+  added/removed/changed outputs an update produced downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.trees import Tree
+from .interpreter import ConversionResult
+from .skolem import SkolemKey
+
+
+class ResultDiff:
+    """Outputs that differ between two runs, keyed by Skolem term."""
+
+    def __init__(
+        self,
+        added: Dict[SkolemKey, Tree],
+        removed: Dict[SkolemKey, Tree],
+        changed: Dict[SkolemKey, Tuple[Tree, Tree]],
+    ) -> None:
+        self.added = added
+        self.removed = removed
+        self.changed = changed
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.added)} added, {len(self.removed)} removed, "
+            f"{len(self.changed)} changed"
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultDiff({self.summary()})"
+
+
+def _by_key(result: ConversionResult) -> Dict[SkolemKey, Tree]:
+    table: Dict[SkolemKey, Tree] = {}
+    for identifier in result.store.names():
+        table[result.skolems.key_of(identifier)] = result.store.get(identifier)
+    return table
+
+
+def diff_results(old: ConversionResult, new: ConversionResult) -> ResultDiff:
+    """Compare two conversion results by Skolem term.
+
+    ``changed`` holds the terms present in both runs whose value trees
+    differ (structurally, before reference materialization, so a change
+    in a referenced object does not flag every referrer)."""
+    old_table, new_table = _by_key(old), _by_key(new)
+    added = {k: v for k, v in new_table.items() if k not in old_table}
+    removed = {k: v for k, v in old_table.items() if k not in new_table}
+    changed = {
+        k: (old_table[k], new_table[k])
+        for k in old_table.keys() & new_table.keys()
+        if old_table[k] != new_table[k]
+    }
+    return ResultDiff(added, removed, changed)
+
+
+def affected_outputs(
+    result: ConversionResult, changed_inputs: Iterable[str]
+) -> List[str]:
+    """Outputs whose derivation involved any of the changed input trees
+    (by provenance) — the conservative recomputation set for a source
+    update."""
+    changed = set(changed_inputs)
+    return [
+        identifier
+        for identifier in result.store.names()
+        if result.provenance.get(identifier, set()) & changed
+    ]

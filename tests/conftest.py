@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's running examples."""
+
+import pytest
+
+from repro.core import DataStore, Ref, atom, tree
+from repro.core.models import car_schema_model
+from repro.library.programs import o2web_program, sgml_brochures_to_odmg
+
+
+def make_brochure(num, title, year, desc, sups):
+    """A brochure tree as the SGML wrapper would import it."""
+    return tree(
+        "brochure",
+        tree("number", atom(num)),
+        tree("title", atom(title)),
+        tree("model", atom(year)),
+        tree("desc", atom(desc)),
+        tree(
+            "spplrs",
+            *[
+                tree("supplier", tree("name", atom(n)), tree("address", atom(a)))
+                for n, a in sups
+            ],
+        ),
+    )
+
+
+@pytest.fixture
+def brochure_b1():
+    """Figure 3's b1: one supplier."""
+    return make_brochure(
+        1, "Golf", 1995, "A great car",
+        [("VW center", "Bd Lenoir, Paris 75005")],
+    )
+
+
+@pytest.fixture
+def brochure_b2():
+    """Figure 3's b2: two suppliers, one shared with b1."""
+    return make_brochure(
+        2, "Golf", 1997, "A great car",
+        [
+            ("VW2", "Bd Leblanc, Lyon 69001"),
+            ("VW center", "Bd Lenoir, Paris 75005"),
+        ],
+    )
+
+
+@pytest.fixture
+def brochures_program():
+    return sgml_brochures_to_odmg()
+
+
+@pytest.fixture
+def web_program():
+    return o2web_program()
+
+
+@pytest.fixture
+def golf_store():
+    """The ground Golf database of Figure 2: car c1 with supplier s1."""
+    s1 = tree(
+        "class",
+        tree(
+            "supplier",
+            tree("name", atom("VW center")),
+            tree("city", atom("Paris")),
+            tree("zip", atom("75005")),
+        ),
+    )
+    c1 = tree(
+        "class",
+        tree(
+            "car",
+            tree("name", atom("Golf")),
+            tree("desc", atom("nice")),
+            tree("suppliers", tree("set", Ref("s1"))),
+        ),
+    )
+    return DataStore({"c1": c1, "s1": s1})
+
+
+@pytest.fixture
+def car_schema():
+    return car_schema_model()

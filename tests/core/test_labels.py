@@ -1,0 +1,122 @@
+"""Labels: symbols vs atoms."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    Symbol,
+    atom_type_name,
+    is_atom,
+    is_label,
+    is_symbol,
+    label_repr,
+    label_sort_key,
+)
+
+
+class TestSymbol:
+    def test_interning(self):
+        assert Symbol("car") is Symbol("car")
+
+    def test_distinct_names_distinct_objects(self):
+        assert Symbol("car") is not Symbol("supplier")
+
+    def test_symbol_is_not_its_string(self):
+        assert Symbol("car") != "car"
+
+    def test_str_and_repr(self):
+        assert str(Symbol("car")) == "car"
+        assert repr(Symbol("car")) == "Symbol('car')"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Symbol("car").name = "other"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypeError):
+            Symbol("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            Symbol(42)
+
+    def test_ordering_by_name(self):
+        assert Symbol("a") < Symbol("b")
+        assert sorted([Symbol("z"), Symbol("a")]) == [Symbol("a"), Symbol("z")]
+
+    def test_pickle_preserves_interning(self):
+        original = Symbol("car")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone is original
+
+    def test_hash_stable(self):
+        assert hash(Symbol("x")) == hash(Symbol("x"))
+
+
+class TestPredicates:
+    def test_is_symbol(self):
+        assert is_symbol(Symbol("x"))
+        assert not is_symbol("x")
+
+    def test_is_atom(self):
+        assert is_atom("Golf")
+        assert is_atom(1995)
+        assert is_atom(1.5)
+        assert is_atom(True)
+        assert not is_atom(Symbol("x"))
+        assert not is_atom(None)
+        assert not is_atom([1])
+
+    def test_is_label(self):
+        assert is_label(Symbol("x"))
+        assert is_label("Golf")
+        assert not is_label(None)
+
+
+class TestAtomTypeName:
+    @pytest.mark.parametrize(
+        "value,name",
+        [("x", "string"), (1, "int"), (1.5, "float"), (True, "bool"), (False, "bool")],
+    )
+    def test_names(self, value, name):
+        assert atom_type_name(value) == name
+
+    def test_bool_not_int(self):
+        # bool is a subclass of int in Python; YAT keeps them distinct
+        assert atom_type_name(True) == "bool"
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(TypeError):
+            atom_type_name(Symbol("x"))
+
+
+class TestLabelRepr:
+    def test_symbol_bare(self):
+        assert label_repr(Symbol("car")) == "car"
+
+    def test_string_quoted(self):
+        assert label_repr("Golf") == '"Golf"'
+
+    def test_string_escaping(self):
+        assert label_repr('say "hi"') == '"say \\"hi\\""'
+        assert label_repr("a\\b") == '"a\\\\b"'
+
+    def test_numbers_and_bools(self):
+        assert label_repr(1995) == "1995"
+        assert label_repr(1.5) == "1.5"
+        assert label_repr(True) == "true"
+        assert label_repr(False) == "false"
+
+
+class TestSortKey:
+    def test_kinds_grouped(self):
+        labels = [Symbol("a"), "text", 3, True]
+        ordered = sorted(labels, key=label_sort_key)
+        assert ordered == [True, 3, "text", Symbol("a")]
+
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.booleans()), min_size=1))
+    def test_total_order_never_raises(self, labels):
+        sorted(labels, key=label_sort_key)

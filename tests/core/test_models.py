@@ -1,0 +1,72 @@
+"""Models: containers and built-ins."""
+
+import pytest
+
+from repro.core.models import (
+    BUILTIN_MODELS,
+    Model,
+    builtin_model,
+    odmg_model,
+    yat_model,
+)
+from repro.core.patterns import Pattern, pnode, var
+from repro.errors import ModelError
+
+
+class TestModel:
+    def test_add_and_lookup(self):
+        model = Model("M", [Pattern("P", [var("X")])])
+        assert model.pattern("P").name == "P"
+        assert model.get_pattern("Q") is None
+        with pytest.raises(ModelError):
+            model.pattern("Q")
+
+    def test_duplicate_rejected(self):
+        model = Model("M", [Pattern("P", [var("X")])])
+        with pytest.raises(ModelError):
+            model.add(Pattern("P", [var("Y")]))
+
+    def test_iteration_and_len(self):
+        model = Model("M", [Pattern("P", [var("X")]), Pattern("Q", [var("Y")])])
+        assert len(model) == 2
+        assert [p.name for p in model] == ["P", "Q"]
+        assert "P" in model
+
+    def test_merged_with(self):
+        a = Model("A", [Pattern("P", [var("X")])])
+        b = Model("B", [Pattern("Q", [var("Y")])])
+        merged = a.merged_with(b)
+        assert set(merged.pattern_names()) == {"P", "Q"}
+
+    def test_merge_identical_patterns_ok(self):
+        a = Model("A", [Pattern("P", [var("X")])])
+        b = Model("B", [Pattern("P", [var("X")])])
+        assert a.merged_with(b).pattern_names() == ["P"]
+
+    def test_merge_conflicting_patterns_rejected(self):
+        a = Model("A", [Pattern("P", [var("X")])])
+        b = Model("B", [Pattern("P", [pnode("different")])])
+        with pytest.raises(ModelError):
+            a.merged_with(b)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_MODELS))
+    def test_all_buildable(self, name):
+        model = builtin_model(name)
+        assert len(model) >= 1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelError):
+            builtin_model("Nope")
+
+    def test_yat_single_pattern(self):
+        assert yat_model().pattern_names() == ["Yat"]
+
+    def test_odmg_patterns(self):
+        assert set(odmg_model().pattern_names()) == {"Pclass", "Ptype"}
+
+    def test_builtin_factories_fresh(self):
+        # Each call builds a fresh, independent model.
+        a, b = yat_model(), yat_model()
+        assert a is not b and a == b

@@ -1,0 +1,79 @@
+"""HTML substrate: DOM and renderer."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.html import HtmlElement, Text, el, escape, page, render, render_document
+
+
+class TestDom:
+    def test_el_builder(self):
+        node = el("a", "here", href="x.html")
+        assert node.tag == "a"
+        assert node.attrs == {"href": "x.html"}
+        assert node.children == [Text("here")]
+
+    def test_tag_normalized(self):
+        assert HtmlElement("UL").tag == "ul"
+
+    def test_invalid_tag(self):
+        with pytest.raises(WrapperError):
+            HtmlElement("not a tag")
+
+    def test_void_elements_childless(self):
+        with pytest.raises(WrapperError):
+            HtmlElement("br", children=[Text("x")])
+
+    def test_text_property(self):
+        node = el("p", "a", el("b", "bold"), "c")
+        assert node.text == "aboldc"
+
+    def test_find_all(self):
+        doc = page("T", el("ul", el("li", "1"), el("li", "2")))
+        assert len(doc.find_all("li")) == 2
+
+    def test_page_shape(self):
+        doc = page("Title", el("h1", "Hello"))
+        assert doc.tag == "html"
+        assert doc.children[0].tag == "head"
+        assert doc.children[1].tag == "body"
+
+
+class TestRender:
+    def test_escaping(self):
+        assert escape('<a href="x">&') == "&lt;a href=&quot;x&quot;&gt;&amp;"
+
+    def test_text_escaped_in_output(self):
+        out = render(el("p", "a < b & c"))
+        assert "a &lt; b &amp; c" in out
+
+    def test_attributes_rendered(self):
+        out = render(el("a", "x", href="p.html"))
+        assert out == '<a href="p.html">x</a>'
+
+    def test_inline_elements_flat(self):
+        out = render(el("li", "name: ", el("b", "Golf")))
+        assert "\n" not in out
+
+    def test_block_elements_indent(self):
+        out = render(el("div", el("div", "inner")))
+        assert "\n" in out
+
+    def test_void_element(self):
+        assert render(el("br")) == "<br>"
+
+    def test_document_has_doctype(self):
+        out = render_document(page("T"))
+        assert out.startswith("<!DOCTYPE html>")
+        assert out.endswith("\n")
+
+    def test_full_page(self):
+        doc = page(
+            "car",
+            el("h1", "car"),
+            el("ul", el("li", "name: Golf"),
+               el("li", el("a", "supplier", href="h1.html"))),
+        )
+        out = render_document(doc)
+        assert "<title>car</title>" in out
+        assert '<a href="h1.html">supplier</a>' in out

@@ -1,0 +1,131 @@
+"""End-to-end integration: the Figure 1 car-dealer intranet scenario."""
+
+import pytest
+
+from repro import YatSystem
+from repro.objectdb import car_dealer_schema
+from repro.sgml import brochure_dtd, parse_sgml_many, write_sgml
+from repro.workloads import (
+    brochure_elements,
+    brochure_trees,
+    car_object_store,
+    dealer_database,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return YatSystem()
+
+
+class TestFigure1Pipeline:
+    def test_sgml_to_odmg_to_html(self, system):
+        """Arrows (1) and (2) of Figure 1, materialized ODMG."""
+        to_odmg = system.import_program("SgmlBrochuresToOdmg")
+        documents = brochure_elements(8, distinct_suppliers=3)
+        objects = system.translate_to_objects(
+            to_odmg, car_dealer_schema(),
+            sgml_documents=documents, dtd=brochure_dtd(),
+        )
+        assert len(objects.extent("car")) == 8
+        assert len(objects.extent("supplier")) == 3
+        web = system.import_program("O2Web")
+        pages = system.publish_to_html(web, objects)
+        assert len(pages) == 11
+        assert all(page.startswith("<!DOCTYPE html>") for page in pages.values())
+
+    def test_virtual_odmg_via_composition(self, system):
+        """'It is also possible for it to be virtual. In which case, the
+        conversions ... are composed to yield a one-step conversion.'"""
+        to_odmg = system.import_program("SgmlBrochuresToOdmg")
+        web = system.import_program("O2Web")
+        direct = system.compose(to_odmg, web, name="SgmlToHtml")
+        result = system.run(direct, brochure_trees(8, distinct_suppliers=3))
+        pages = system.export_html(result)
+        assert len(pages) == 11
+
+    def test_composition_equals_materialization(self, system):
+        to_odmg = system.import_program("SgmlBrochuresToOdmg")
+        web = system.import_program("O2Web")
+        inputs = brochure_trees(5, distinct_suppliers=2)
+
+        intermediate = system.run(to_odmg, inputs)
+        two_step = system.run(web, intermediate.store)
+        one_step = system.run(system.compose(to_odmg, web), inputs)
+
+        def pages(result):
+            return sorted(
+                str(result.store.materialize(i))
+                for i in result.ids_of("HtmlPage")
+            )
+
+        assert pages(two_step) == pages(one_step)
+
+    def test_sgml_text_round_trip_through_pipeline(self, system):
+        """Real SGML text → parse → validate → convert → HTML."""
+        text = "\n".join(write_sgml(d) for d in brochure_elements(3))
+        documents = parse_sgml_many(text)
+        to_odmg = system.import_program("SgmlBrochuresToOdmg")
+        objects = system.translate_to_objects(
+            to_odmg, car_dealer_schema(),
+            sgml_documents=documents, dtd=brochure_dtd(),
+        )
+        assert len(objects.extent("car")) == 3
+
+    def test_relational_source_joined(self, system):
+        """Rule 3: both sources feed a single conversion."""
+        from repro.library import brochures_rule3_program
+
+        database = dealer_database(suppliers=4, cars=6)
+        # brochures reuse the same supplier pool, so names join; numbers
+        # stay strings so Num joins the string-typed broch_num column
+        documents = brochure_elements(6, distinct_suppliers=4,
+                                      suppliers_per_brochure=1)
+        sgml_store = system.import_sgml(documents, brochure_dtd(),
+                                        coerce_numbers=False)
+        rel_store = system.import_relational(database)
+        merged = system.merge_stores(sgml_store, rel_store)
+        result = system.run(brochures_rule3_program(), merged)
+        assert result.ids_of("Pcar")
+
+
+class TestCustomizationWorkflow:
+    def test_import_customize_combine(self, system, golf_store):
+        """The Section 4.1/4.2 workflow through the facade."""
+        from repro.core.models import car_schema_model
+
+        web = system.import_program("O2Web")
+        specialized = system.customize(web, car_schema_model().pattern("Pcar"))
+        combined = system.combine(specialized, web, name="CustomizedWeb")
+        result = system.run(combined, golf_store)
+        assert len(result.ids_of("HtmlPage")) == 2
+
+    def test_type_check_through_facade(self, system):
+        program = system.import_program("SgmlBrochuresToOdmg")
+        signature = system.type_check(program)
+        assert signature.input_model.pattern_names() == ["Pbr"]
+
+    def test_save_and_reload_customized_program(self, system):
+        from repro.core.models import car_schema_model
+
+        web = system.import_program("O2Web")
+        specialized = system.customize(
+            web, car_schema_model(), name="WebOnCarSchema"
+        )
+        system.save_program(specialized)
+        reloaded = system.import_program("WebOnCarSchema")
+        assert reloaded.rule_names() == specialized.rule_names()
+
+
+class TestScale:
+    def test_hundred_brochures(self, system):
+        to_odmg = system.import_program("SgmlBrochuresToOdmg")
+        result = system.run(to_odmg, brochure_trees(100, distinct_suppliers=20))
+        assert len(result.ids_of("Pcar")) == 100
+        assert len(result.ids_of("Psup")) == 20
+
+    def test_object_graph_publishing(self, system):
+        objects = car_object_store(cars=30, suppliers=10)
+        web = system.import_program("O2Web")
+        pages = system.publish_to_html(web, objects)
+        assert len(pages) == 40

@@ -1,0 +1,183 @@
+"""ODL schema language and the OQL-style query engine."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objectdb import (
+    ObjectStore,
+    QueryError,
+    car_dealer_schema,
+    oql,
+    parse_odl,
+    parse_query,
+    render_odl,
+)
+
+CAR_DEALER_ODL = """
+class car {
+  attribute string name;
+  attribute string desc;
+  attribute set<ref<supplier>> suppliers;
+};
+class supplier {
+  attribute string name;
+  attribute string city;
+  attribute string zip;
+};
+"""
+
+
+class TestOdlParsing:
+    def test_car_dealer_schema(self):
+        schema = parse_odl(CAR_DEALER_ODL, name="dealer")
+        assert set(schema.class_names()) == {"car", "supplier"}
+        suppliers_type = schema.cls("car").attribute_type("suppliers")
+        assert suppliers_type.render() == "set<ref<supplier>>"
+
+    def test_matches_programmatic_schema(self):
+        parsed = parse_odl(CAR_DEALER_ODL)
+        built = car_dealer_schema()
+        for name in built.class_names():
+            assert parsed.cls(name).attributes == built.cls(name).attributes
+
+    def test_render_round_trip(self):
+        schema = car_dealer_schema()
+        reparsed = parse_odl(render_odl(schema))
+        for cls in schema.classes():
+            assert reparsed.cls(cls.name).attributes == cls.attributes
+
+    def test_tuple_types(self):
+        schema = parse_odl(
+            "class point { attribute tuple<x: int, y: int> pos; };"
+        )
+        assert schema.cls("point").attribute_type("pos").render() == (
+            "tuple<x: int, y: int>"
+        )
+
+    def test_bare_class_name_is_a_reference(self):
+        schema = parse_odl(
+            "class a { attribute b other; }; class b { attribute int x; };"
+        )
+        assert schema.cls("a").attribute_type("other").render() == "ref<b>"
+
+    def test_relationship_keyword(self):
+        schema = parse_odl(
+            "class a { relationship set<ref<b>> bs; };"
+            "class b { attribute int x; };"
+        )
+        assert schema.cls("a").attribute_type("bs").render() == "set<ref<b>>"
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_odl("class a { attribute ref<ghost> r; };")
+
+    def test_syntax_errors(self):
+        with pytest.raises(SchemaError):
+            parse_odl("class { attribute int x; };")
+        with pytest.raises(SchemaError):
+            parse_odl("class a attribute int x; };")
+        with pytest.raises(SchemaError):
+            parse_odl("")
+
+    def test_char_maps_to_string(self):
+        schema = parse_odl("class a { attribute char c; };")
+        assert schema.cls("a").attribute_type("c").render() == "string"
+
+
+@pytest.fixture
+def dealer_store():
+    store = ObjectStore(car_dealer_schema())
+    s1 = store.create("supplier", {"name": "VW center", "city": "Paris",
+                                   "zip": "75005"})
+    s2 = store.create("supplier", {"name": "VW2", "city": "Lyon",
+                                   "zip": "69001"})
+    store.create("car", {"name": "Golf", "desc": "nice",
+                         "suppliers": [s1.oid, s2.oid]})
+    store.create("car", {"name": "Polo", "desc": "small",
+                         "suppliers": [s2.oid]})
+    return store
+
+
+class TestQueries:
+    def test_select_attribute(self, dealer_store):
+        rows = oql(dealer_store, "select c.name from car c")
+        assert rows == [("Golf",), ("Polo",)]
+
+    def test_where_filter(self, dealer_store):
+        rows = oql(dealer_store, 'select c.desc from car c where c.name = "Golf"')
+        assert rows == [("nice",)]
+
+    def test_join_through_membership(self, dealer_store):
+        rows = oql(
+            dealer_store,
+            "select c.name, s.city from car c, supplier s "
+            "where s in c.suppliers",
+        )
+        assert set(rows) == {("Golf", "Paris"), ("Golf", "Lyon"),
+                             ("Polo", "Lyon")}
+
+    def test_path_dereferencing(self, dealer_store):
+        # navigating through a reference dereferences automatically
+        rows = oql(
+            dealer_store,
+            "select s.name from car c, supplier s "
+            'where s in c.suppliers and c.name = "Polo"',
+        )
+        assert rows == [("VW2",)]
+
+    def test_order_by(self, dealer_store):
+        rows = oql(dealer_store,
+                   "select s.name from supplier s order by s.city")
+        assert rows == [("VW2",), ("VW center",)]  # Lyon < Paris
+
+    def test_select_star(self, dealer_store):
+        rows = oql(dealer_store, "select * from supplier s")
+        assert len(rows) == 2
+
+    def test_multiple_conditions(self, dealer_store):
+        rows = oql(
+            dealer_store,
+            'select c.name from car c where c.name != "Polo" and '
+            'c.desc = "nice"',
+        )
+        assert rows == [("Golf",)]
+
+    def test_comparison_operators(self, dealer_store):
+        rows = oql(dealer_store,
+                   'select s.name from supplier s where s.zip > "70000"')
+        assert rows == [("VW center",)]
+
+    def test_unknown_variable(self, dealer_store):
+        with pytest.raises(QueryError):
+            oql(dealer_store, "select x.name from car c")
+
+    def test_unknown_class(self, dealer_store):
+        with pytest.raises(SchemaError):
+            oql(dealer_store, "select b.x from boat b")
+
+    def test_syntax_errors(self):
+        with pytest.raises(QueryError):
+            parse_query("select from car c")
+        with pytest.raises(QueryError):
+            parse_query("select c.name from car c where")
+        with pytest.raises(QueryError):
+            parse_query("select c.name from car c extra")
+
+    def test_duplicate_variables_rejected(self, dealer_store):
+        with pytest.raises(QueryError):
+            oql(dealer_store, "select c.name from car c, supplier c")
+
+
+class TestQueryOverConversionOutput:
+    def test_end_to_end(self, brochures_program, brochure_b1, brochure_b2):
+        """Query the conversion output: brochures -> objects -> OQL."""
+        from repro.wrappers import OdmgExportWrapper
+
+        result = brochures_program.run([brochure_b1, brochure_b2])
+        objects = OdmgExportWrapper(car_dealer_schema()).from_store(result.store)
+        rows = oql(
+            objects,
+            "select c.name, s.name from car c, supplier s "
+            "where s in c.suppliers order by s.name",
+        )
+        assert ("Golf", "VW center") in rows

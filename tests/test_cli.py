@@ -1,0 +1,120 @@
+"""The command-line interface (the stand-alone executables of §5.1)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.sgml import write_sgml
+from repro.workloads import brochure_elements
+
+
+@pytest.fixture
+def sgml_file(tmp_path):
+    path = tmp_path / "brochures.sgml"
+    path.write_text(
+        "\n".join(write_sgml(d) for d in brochure_elements(3, distinct_suppliers=2))
+    )
+    return str(path)
+
+
+class TestList:
+    def test_lists_builtins(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "O2Web" in out and "SgmlBrochuresToOdmg" in out
+        assert "ODMG" in out  # models too
+
+
+class TestShow:
+    def test_prints_yatl(self, capsys):
+        assert main(["show", "SgmlBrochuresToOdmg"]) == 0
+        out = capsys.readouterr().out
+        assert "rule Rule1:" in out and "Psup(SN)" in out
+
+    def test_unknown_program(self, capsys):
+        assert main(["show", "Nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_valid_program(self, capsys):
+        assert main(["check", "SgmlBrochuresToOdmg"]) == 0
+        out = capsys.readouterr().out
+        assert "input model : Pbr" in out
+
+    def test_safe_recursive_program(self, capsys):
+        assert main(["check", "O2Web"]) == 0
+        out = capsys.readouterr().out
+        assert "safe-recursive" in out
+
+    def test_cyclic_program_rejected(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.yatl"
+        path.write_text(
+            """
+            program Cyclic
+            rule A:
+              F(P) : wrap -> G(P)
+            <=
+              P : a -> ^X
+            rule B:
+              G(P) : wrap -> F(P)
+            <=
+              P : a -> ^X
+            end
+            """
+        )
+        assert main(["check", str(path)]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_trees_output(self, sgml_file, capsys):
+        assert main(["convert", "SgmlBrochuresToOdmg", sgml_file]) == 0
+        out = capsys.readouterr().out
+        assert "class -> supplier" in out and "class -> car" in out
+
+    def test_html_output_to_dir(self, sgml_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "site")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file]
+        ) == 0
+        capsys.readouterr()
+        assert main(["pipeline", sgml_file, "-o", out_dir]) == 0
+        pages = os.listdir(out_dir)
+        assert len(pages) == 5  # 3 cars + 2 suppliers
+        with open(os.path.join(out_dir, sorted(pages)[0])) as handle:
+            assert handle.read().startswith("<!DOCTYPE html>")
+
+    def test_program_from_file(self, sgml_file, tmp_path, capsys):
+        path = tmp_path / "count.yatl"
+        path.write_text(
+            """
+            program Titles
+            rule R:
+              Title(T) : title -> T
+            <=
+              P : brochure < -> number -> Num, -> title -> T, -> model -> Y,
+                             -> desc -> D, -> spplrs *-> ^S >
+            end
+            """
+        )
+        assert main(["convert", str(path), sgml_file]) == 0
+        assert "title ->" in capsys.readouterr().out
+
+    def test_missing_input_file(self, capsys):
+        assert main(["convert", "O2Web", "/nonexistent.sgml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLibraryDirectory:
+    def test_custom_library(self, tmp_path, sgml_file, capsys):
+        from repro.library import Library, sgml_brochures_to_odmg
+
+        library = Library(directory=str(tmp_path / "lib"))
+        library.save_program(sgml_brochures_to_odmg())
+        assert main(
+            ["--library", str(tmp_path / "lib"), "list"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SgmlBrochuresToOdmg" in out and "O2Web" not in out

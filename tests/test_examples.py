@@ -1,0 +1,25 @@
+"""Every example script must keep running (they are documentation)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch, tmp_path):
+    # examples with optional CLI arguments run with their defaults
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the paper reproduction promises >= 3 examples"

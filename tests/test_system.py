@@ -1,0 +1,69 @@
+"""The YatSystem facade (Figure 6)."""
+
+import pytest
+
+from repro import YatSystem
+from repro.core.trees import DataStore, atom, tree
+from repro.errors import YatError
+from repro.objectdb import car_dealer_schema
+from repro.workloads import car_object_store
+
+
+@pytest.fixture(scope="module")
+def system():
+    return YatSystem()
+
+
+class TestSpecificationEnvironment:
+    def test_import_program(self, system):
+        program = system.import_program("O2Web")
+        assert len(program.rules) == 6
+
+    def test_import_model(self, system):
+        model = system.import_model("ODMG")
+        assert set(model.pattern_names()) == {"Pclass", "Ptype"}
+
+    def test_combine_requires_programs(self, system):
+        with pytest.raises(YatError):
+            system.combine()
+
+    def test_combine_renames(self, system):
+        a = system.import_program("SgmlBrochuresToOdmg")
+        b = system.import_program("O2Web")
+        combined = system.combine(a, b, name="Both")
+        assert combined.name == "Both"
+        assert len(combined.rules) == 8
+
+    def test_type_check_returns_signature(self, system):
+        program = system.import_program("SgmlBrochuresToOdmg")
+        signature = system.type_check(program)
+        assert signature.input_model.pattern_names() == ["Pbr"]
+
+
+class TestRuntimeEnvironment:
+    def test_merge_stores_disambiguates(self, system):
+        a = DataStore({"x": tree("a")})
+        b = DataStore({"x": tree("b"), "y": tree("c")})
+        merged = system.merge_stores(a, b)
+        assert len(merged) == 3
+
+    def test_import_export_odmg(self, system):
+        objects = car_object_store(cars=2, suppliers=2)
+        store = system.import_odmg(objects)
+        assert len(store) == 4
+        web = system.import_program("O2Web")
+        result = system.run(web, store)
+        back = system.export_html(result)
+        assert len(back) == 4
+
+    def test_translate_needs_a_source(self, system):
+        program = system.import_program("SgmlBrochuresToOdmg")
+        with pytest.raises(YatError):
+            system.translate_to_objects(program, car_dealer_schema())
+
+    def test_run_with_runtime_typing(self, system):
+        from repro.errors import UnconvertedDataError
+
+        program = system.import_program("SgmlBrochuresToOdmg")
+        with pytest.raises(UnconvertedDataError):
+            system.run(program, [tree("stray", atom(1))], runtime_typing=True)

@@ -1,0 +1,94 @@
+"""Workload generators: determinism, shapes, DTD conformance."""
+
+from repro.sgml import brochure_dtd, is_valid
+from repro.workloads import (
+    brochure_elements,
+    brochure_trees,
+    car_object_store,
+    dealer_database,
+    deep_object_store,
+    sales_matrix,
+    supplier_pool,
+)
+
+
+class TestBrochures:
+    def test_dtd_conformant(self):
+        dtd = brochure_dtd()
+        for document in brochure_elements(10):
+            assert is_valid(document, dtd)
+
+    def test_deterministic(self):
+        a = brochure_trees(5, seed=3)
+        b = brochure_trees(5, seed=3)
+        assert a == b
+        c = brochure_trees(5, seed=4)
+        assert a != c
+
+    def test_distinct_suppliers_bounded(self):
+        from repro.core.labels import Symbol
+
+        trees_ = brochure_trees(20, distinct_suppliers=3)
+        names = {
+            s.children[0].children[0].label
+            for t in trees_
+            for s in t.find_all(Symbol("supplier"))
+        }
+        assert len(names) <= 3
+
+    def test_old_ratio(self):
+        from repro.core.labels import Symbol
+
+        trees_ = brochure_trees(50, old_ratio=1.0)
+        years = [t.find(Symbol("model")).children[0].label for t in trees_]
+        assert all(year <= 1975 for year in years)
+
+    def test_trees_match_elements(self):
+        from repro.wrappers import SgmlImportWrapper
+
+        wrapper = SgmlImportWrapper()
+        elements = brochure_elements(3, seed=9)
+        trees_ = brochure_trees(3, seed=9)
+        assert [wrapper.element_to_tree(e) for e in elements] == trees_
+
+
+class TestDealerDatabase:
+    def test_sizes(self):
+        database = dealer_database(suppliers=5, cars=7, sales_per_car=2)
+        assert len(database.table("suppliers")) == 5
+        assert len(database.table("cars")) == 7
+        assert len(database.table("sales")) == 14
+
+    def test_broch_num_links(self):
+        database = dealer_database(suppliers=2, cars=3)
+        assert [r[1] for r in database.table("cars")] == ["1", "2", "3"]
+
+    def test_supplier_names_shared_with_brochures(self):
+        pool = supplier_pool(4)
+        database = dealer_database(suppliers=4, cars=2)
+        assert [r[1] for r in database.table("suppliers")] == [n for n, _ in pool]
+
+
+class TestObjectStores:
+    def test_car_object_store(self):
+        store = car_object_store(cars=4, suppliers=3, suppliers_per_car=2)
+        assert len(store.extent("car")) == 4
+        assert len(store.extent("supplier")) == 3
+        for car in store.extent("car"):
+            assert len(car.get("suppliers")) == 2
+
+    def test_deep_object_store(self):
+        store = deep_object_store(depth=3, fanout=2)
+        [node] = store.objects()
+        payload = node.get("payload")
+        assert len(payload) == 2 and len(payload[0]) == 2
+
+
+class TestSalesMatrix:
+    def test_shape(self):
+        matrix = sales_matrix(rows=3, columns=2)
+        assert len(matrix.children) == 2
+        assert all(len(col.children) == 3 for col in matrix.children)
+
+    def test_deterministic(self):
+        assert sales_matrix(3, 2, seed=1) == sales_matrix(3, 2, seed=1)

@@ -1,0 +1,83 @@
+"""Bindings: immutability, joins, projection."""
+
+import pytest
+
+from repro.core.trees import Ref, tree
+from repro.core.variables import PatternVar, Var
+from repro.errors import EvaluationError
+from repro.yatl.bindings import Binding, dedup_bindings
+
+
+class TestBinding:
+    def test_empty(self):
+        assert len(Binding.EMPTY) == 0
+        assert Binding.EMPTY.get("X") is None
+
+    def test_bind_returns_new(self):
+        first = Binding.EMPTY.bind("X", 1)
+        assert first is not Binding.EMPTY
+        assert len(Binding.EMPTY) == 0
+        assert first["X"] == 1
+
+    def test_bind_conflict_returns_none(self):
+        env = Binding.EMPTY.bind("X", 1)
+        assert env.bind("X", 2) is None
+
+    def test_bind_same_value_is_noop(self):
+        env = Binding.EMPTY.bind("X", 1)
+        assert env.bind("X", 1) is env
+
+    def test_var_objects_accepted(self):
+        env = Binding.EMPTY.bind(Var("SN"), "VW")
+        assert env[PatternVar("SN")] == "VW"  # lookup is by name
+
+    def test_tree_values(self):
+        node = tree("brochure")
+        env = Binding.EMPTY.bind("Pbr", node)
+        assert env["Pbr"] is node
+
+    def test_getitem_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            Binding.EMPTY["X"]
+
+    def test_merge(self):
+        a = Binding.EMPTY.bind("X", 1)
+        b = Binding.EMPTY.bind("Y", 2)
+        merged = a.merge(b)
+        assert merged["X"] == 1 and merged["Y"] == 2
+
+    def test_merge_conflict(self):
+        a = Binding.EMPTY.bind("X", 1)
+        b = Binding.EMPTY.bind("X", 2)
+        assert a.merge(b) is None
+
+    def test_project(self):
+        env = Binding.EMPTY.bind("X", 1).bind("Y", 2)
+        assert env.project(["Y", "X", "Z"]) == (2, 1, None)
+
+    def test_equality_and_hash(self):
+        a = Binding.EMPTY.bind("X", 1).bind("Y", 2)
+        b = Binding.EMPTY.bind("Y", 2).bind("X", 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Binding.EMPTY.extra = 1
+
+    def test_contains_none_values(self):
+        env = Binding.EMPTY.bind("X", None)  # defensive: None is storable
+        assert "X" in env
+
+    def test_ref_values(self):
+        env = Binding.EMPTY.bind("R", Ref("s1"))
+        assert env["R"] == Ref("s1")
+
+
+class TestDedup:
+    def test_preserves_first_occurrence_order(self):
+        a = Binding.EMPTY.bind("X", 1)
+        b = Binding.EMPTY.bind("X", 2)
+        assert dedup_bindings([a, b, a, b]) == [a, b]
+
+    def test_empty(self):
+        assert dedup_bindings([]) == []

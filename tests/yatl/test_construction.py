@@ -1,0 +1,195 @@
+"""Head construction: collection edges, grouping, ordering, conflicts."""
+
+import pytest
+
+from repro.core import parse_pattern_tree
+from repro.core.trees import Ref, Tree, atom, tree
+from repro.errors import NonDeterminismError
+from repro.yatl.bindings import Binding
+from repro.yatl.construction import (
+    Constructor,
+    Unbound,
+    deref_placeholder,
+    deref_target,
+    is_deref_placeholder,
+)
+from repro.yatl.skolem import SkolemTable
+
+
+def env(**values):
+    binding = Binding.EMPTY
+    for name, value in values.items():
+        binding = binding.bind(name, value)
+    return binding
+
+
+def build(head_text, group, known=("Psup", "HtmlPage")):
+    constructor = Constructor(SkolemTable())
+    head = parse_pattern_tree(head_text, known_names=known)
+    return constructor.construct(head, group)
+
+
+class TestPlainEdges:
+    def test_substitution(self):
+        out = build("class -> supplier -> name -> SN", [env(SN="VW")])
+        assert out == tree("class", tree("supplier", tree("name", atom("VW"))))
+
+    def test_group_must_agree(self):
+        with pytest.raises(NonDeterminismError):
+            build("name -> SN", [env(SN="a"), env(SN="b")])
+
+    def test_agreeing_group_ok(self):
+        out = build("name -> SN", [env(SN="a", X=1), env(SN="a", X=2)])
+        assert out == tree("name", atom("a"))
+
+    def test_unbound_plain_raises(self):
+        with pytest.raises(Unbound):
+            build("name -> SN", [env(Other=1)])
+
+    def test_variable_label(self):
+        out = build("X -> y", [env(X=__import__("repro.core.labels",
+                                                fromlist=["Symbol"]).Symbol("set"))])
+        assert str(out.label) == "set"
+
+
+class TestStarEdges:
+    def test_one_child_per_projection(self):
+        # phase 1 produces a *set* of bindings, so a '*' edge yields one
+        # child per distinct projection onto the edge's variables, in
+        # first-encounter order
+        out = build("s *-> x -> V", [env(V=1), env(V=2), env(V=1)])
+        assert [c.children[0].label for c in out.children] == [1, 2]
+
+    def test_implicit_grouping_on_target_variables(self):
+        # bindings differing only in variables not under the edge do not
+        # multiply children (Section 4.1 point 3, implicit grouping)
+        out = build("s *-> x -> V", [env(V=1, Irrelevant="a"),
+                                     env(V=1, Irrelevant="b")])
+        assert len(out.children) == 1
+
+    def test_duplicate_values_from_distinct_targets_kept(self):
+        # same V from *distinct* V-projections cannot happen; duplicates
+        # only survive when the full projection repeats across bindings
+        out = build("s *-> x -> V", [env(V=1), env(V=2)])
+        assert len(out.children) == 2
+
+    def test_unbound_binding_skipped(self):
+        out = build("s *-> x -> V", [env(V=1), env(Other=9)])
+        assert len(out.children) == 1
+
+
+class TestGroupEdges:
+    def test_duplicate_elimination(self):
+        out = build("s {}-> x -> V", [env(V=1, W="a"), env(V=1, W="b"), env(V=2)])
+        assert [c.children[0].label for c in out.children] == [1, 2]
+
+    def test_empty_collection(self):
+        out = build("s {}-> x -> V", [env(Other=1)])
+        assert out == tree("s")
+
+
+class TestOrderEdges:
+    def test_grouping_and_ordering(self):
+        out = build(
+            "list [SN]-> item -> SN",
+            [env(SN="z"), env(SN="a"), env(SN="z"), env(SN="m")],
+        )
+        values = [c.children[0].label for c in out.children]
+        assert values == ["a", "m", "z"]
+
+    def test_multiple_criteria(self):
+        out = build(
+            "list [A,B]-> pair < -> a -> A, -> b -> B >",
+            [env(A=2, B=1), env(A=1, B=2), env(A=1, B=1)],
+        )
+        pairs = [
+            (c.children[0].children[0].label, c.children[1].children[0].label)
+            for c in out.children
+        ]
+        assert pairs == [(1, 1), (1, 2), (2, 1)]
+
+    def test_nested_grouping(self):
+        # group by J at the top, by I below (the transpose shape)
+        out = build(
+            "m [J]-> col [I]-> cell -> V",
+            [
+                env(J=2, I=1, V="c"),
+                env(J=1, I=2, V="b"),
+                env(J=1, I=1, V="a"),
+            ],
+        )
+        flat = [
+            (col_i, cell.children[0].label)
+            for col_i, col in enumerate(out.children)
+            for cell in col.children
+        ]
+        assert flat == [(0, "a"), (0, "b"), (1, "c")]
+
+    def test_unbound_criteria_skipped(self):
+        out = build("list [SN]-> item -> SN", [env(SN="a"), env(Other=1)])
+        assert len(out.children) == 1
+
+    def test_heterogeneous_criteria_ordered(self):
+        out = build("l [K]-> v -> K", [env(K="s"), env(K=3), env(K=True)])
+        assert [c.children[0].label for c in out.children] == [True, 3, "s"]
+
+
+class TestSkolemLeaves:
+    def test_reference_leaf(self):
+        table = SkolemTable()
+        constructor = Constructor(table)
+        head = parse_pattern_tree("set {}-> &Psup(SN)", known_names={"Psup"})
+        out = constructor.construct(head, [env(SN="a"), env(SN="b")])
+        assert out.children == (Ref("s1"), Ref("s2"))
+
+    def test_deref_leaf_placeholder(self):
+        table = SkolemTable()
+        constructor = Constructor(table)
+        head = parse_pattern_tree("holder -> Psup(SN)", known_names={"Psup"})
+        out = constructor.construct(head, [env(SN="a")])
+        placeholder = out.children[0]
+        assert isinstance(placeholder, Ref) and is_deref_placeholder(placeholder)
+        assert deref_target(placeholder) == "s1"
+
+    def test_skolem_callback(self):
+        seen = []
+        constructor = Constructor(
+            SkolemTable(), on_skolem=lambda i, t, d: seen.append((i, d))
+        )
+        head = parse_pattern_tree(
+            "pair < -> &Psup(SN), -> Psup(SN) >", known_names={"Psup"}
+        )
+        constructor.construct(head, [env(SN="a")])
+        assert ("s1", False) in seen and ("s1", True) in seen
+
+    def test_conflicting_skolem_ids_in_group(self):
+        constructor = Constructor(SkolemTable())
+        head = parse_pattern_tree("holder -> &Psup(SN)", known_names={"Psup"})
+        with pytest.raises(NonDeterminismError):
+            constructor.construct(head, [env(SN="a"), env(SN="b")])
+
+    def test_constant_skolem_args(self):
+        from repro.core.patterns import NameTerm, PRefLeaf, pnode, edge_one
+
+        table = SkolemTable()
+        constructor = Constructor(table)
+        head = pnode("holder", edge_one(PRefLeaf(NameTerm("Psup", ["fixed"]))))
+        out = constructor.construct(head, [env()])
+        assert out.children[0] == Ref("s1")
+        assert table.key_of("s1") == ("Psup", ("fixed",))
+
+
+class TestPatternVarSplicing:
+    def test_bound_tree_spliced(self):
+        subtree = tree("payload", tree("x"))
+        out = build("wrap -> ^P", [env(P=subtree)])
+        assert out == tree("wrap", subtree)
+
+    def test_bound_ref_spliced(self):
+        out = build("wrap -> ^P", [env(P=Ref("s1"))])
+        assert out == Tree(out.label, (Ref("s1"),))
+
+    def test_placeholder_helpers(self):
+        ref = deref_placeholder("x9")
+        assert is_deref_placeholder(ref) and deref_target(ref) == "x9"
+        assert not is_deref_placeholder(Ref("x9"))

@@ -1,0 +1,172 @@
+"""Rule hierarchies (Section 4.2): conflicts, shadowing, enforced order."""
+
+import pytest
+
+from repro.core import parse_pattern_tree
+from repro.core.trees import atom, tree
+from repro.errors import EvaluationError
+from repro.yatl.ast import BodyPattern, HeadPattern, Rule
+from repro.yatl.hierarchy import Hierarchy, rule_input_model
+from repro.yatl.parser import parse_program
+
+
+def make_rule(name, functor, body_text, known=()):
+    return Rule(
+        name,
+        HeadPattern(functor, parse_pattern_tree("out")),
+        [BodyPattern("P", parse_pattern_tree(body_text, known_names=known))],
+    )
+
+
+class TestConflictDetection:
+    def test_same_functor_and_subtype_conflict(self):
+        specific = make_rule("Specific", "F", "class -> car -> ^V")
+        general = make_rule("General", "F", "class -> C:symbol -> ^V")
+        hierarchy = Hierarchy([specific, general])
+        assert hierarchy.is_more_specific("Specific", "General")
+        assert not hierarchy.is_more_specific("General", "Specific")
+
+    def test_different_functors_never_conflict(self):
+        a = make_rule("A", "F", "class -> car -> ^V")
+        b = make_rule("B", "G", "class -> C:symbol -> ^V")
+        hierarchy = Hierarchy([a, b])
+        assert not hierarchy.is_more_specific("A", "B")
+        # "there is no conflict for rules 1 and 2 ... as they do not code
+        # for the same set of output patterns"
+
+    def test_incomparable_inputs_no_conflict(self):
+        a = make_rule("A", "F", "x -> ^V")
+        b = make_rule("B", "F", "y -> ^V")
+        hierarchy = Hierarchy([a, b])
+        assert not hierarchy.is_more_specific("A", "B")
+        assert not hierarchy.is_more_specific("B", "A")
+
+    def test_web_program_hierarchy(self, web_program):
+        hierarchy = web_program.hierarchy()
+        for specific in ("Web3", "Web4", "Web5"):
+            # Web2 (any value) is more general than the structured rules
+            assert hierarchy.is_more_specific(specific, "Web2") or (
+                hierarchy.is_more_specific("Web2", specific) is False
+            )
+
+    def test_transitivity(self):
+        most = make_rule("Most", "F", "class -> car -> name")
+        mid = make_rule("Mid", "F", "class -> car -> ^V")
+        top = make_rule("Top", "F", "class -> C:symbol -> ^V")
+        hierarchy = Hierarchy([most, mid, top])
+        assert hierarchy.is_more_specific("Most", "Top")
+
+
+class TestDispatch:
+    def test_specific_first_ordering(self):
+        specific = make_rule("Specific", "F", "class -> car -> ^V")
+        general = make_rule("General", "F", "class -> C:symbol -> ^V")
+        hierarchy = Hierarchy([general, specific])
+        names = [r.name for r in hierarchy.specific_first()]
+        assert names.index("Specific") < names.index("General")
+
+    def test_fallback_rules_last(self):
+        convert = make_rule("Convert", "F", "a")
+        fallback = Rule(
+            "Fallback", None, [BodyPattern("P", parse_pattern_tree("^Any"))]
+        )
+        hierarchy = Hierarchy([fallback, convert])
+        assert [r.name for r in hierarchy.specific_first()] == [
+            "Convert", "Fallback",
+        ]
+
+    def test_shadowing(self):
+        specific = make_rule("Specific", "F", "class -> car -> ^V")
+        general = make_rule("General", "F", "class -> C:symbol -> ^V")
+        hierarchy = Hierarchy([specific, general])
+        assert hierarchy.shadowed(general, {"Specific"})
+        assert not hierarchy.shadowed(specific, {"General"})
+
+    def test_runtime_dispatch_prefers_specific(self):
+        program = parse_program(
+            """
+            program Dispatch
+            rule SpecialCar:
+              F(P) : special
+            <=
+              P : class -> car -> V
+            rule AnyObject:
+              F(P) : generic
+            <=
+              P : class -> C:symbol -> V
+            end
+            """
+        )
+        car = tree("class", tree("car", atom("golf")))
+        boat = tree("class", tree("boat", atom("x")))
+        result = program.run([car, boat])
+        outputs = {str(t.label) for t in result.trees_of("F")}
+        assert outputs == {"special", "generic"}
+        # exactly two outputs: the specific rule shadowed the generic one
+        assert len(result.ids_of("F")) == 2
+
+
+class TestEnforcedOrder:
+    def test_enforce_order_changes_dispatch(self):
+        program = parse_program(
+            """
+            program Enforced
+            rule A:
+              F(P) : from_a
+            <=
+              P : x -> V
+            rule B:
+              F(P) : from_b
+            <=
+              P : x -> V
+            hierarchy A under B
+            end
+            """
+        )
+        result = program.run([tree("x", atom(1))])
+        # A is enforced more specific: only A applies
+        assert [str(t.label) for t in result.trees_of("F")] == ["from_a"]
+
+    def test_without_enforcement_both_apply_and_conflict(self):
+        from repro.errors import NonDeterminismError
+
+        program = parse_program(
+            """
+            program Unordered
+            rule A:
+              F(P) : from_a
+            <=
+              P : x -> V
+            rule B:
+              F(P) : from_b
+            <=
+              P : x -> V
+            end
+            """
+        )
+        with pytest.raises(NonDeterminismError):
+            program.run([tree("x", atom(1))])
+
+    def test_unknown_rule_in_enforcement(self):
+        rules = [make_rule("A", "F", "x")]
+        with pytest.raises(EvaluationError):
+            Hierarchy(rules, enforced=[("A", "Nope")])
+
+
+class TestRuleInputModel:
+    def test_one_pattern_per_body_name(self):
+        rule = make_rule("R", "F", "a -> b")
+        model = rule_input_model(rule)
+        assert model.pattern_names() == ["P"]
+
+    def test_shared_names_merge_alternatives(self):
+        rule = Rule(
+            "R",
+            HeadPattern("F", parse_pattern_tree("out")),
+            [
+                BodyPattern("P", parse_pattern_tree("a")),
+                BodyPattern("P", parse_pattern_tree("b")),
+            ],
+        )
+        model = rule_input_model(rule)
+        assert len(model.pattern("P").alternatives) == 2

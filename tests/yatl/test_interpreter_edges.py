@@ -1,0 +1,161 @@
+"""Interpreter edge cases: aliases, runaway recursion, warnings."""
+
+import pytest
+
+from repro.core.trees import DataStore, Ref, atom, tree
+from repro.errors import CyclicProgramError
+from repro.yatl.interpreter import Interpreter
+from repro.yatl.parser import parse_program, parse_rule
+
+
+class TestBareReferenceHeads:
+    def test_deref_alias_head(self):
+        """A head that is just a Skolem dereference aliases its value."""
+        program = parse_program(
+            """
+            program Alias
+            rule Make:
+              Inner(X) : made -> X
+            <=
+              P : a -> X
+            rule AliasRule:
+              Alias(X) : Inner(X)
+            <=
+              P : a -> X
+            end
+            """
+        )
+        result = program.run([tree("a", atom(1))])
+        [alias] = result.trees_of("Alias")
+        [inner] = result.trees_of("Inner")
+        assert alias == inner == tree("made", atom(1))
+
+
+class TestRunawayProtection:
+    def test_max_demand_iterations(self):
+        """A program that dereferences itself on the whole input would
+        demand forever; the iteration cap stops it (the static check is
+        bypassed with validate=False to exercise the runtime guard)."""
+        program = parse_program(
+            """
+            program Runaway
+            rule R:
+              F(P) : wrap -> F(W)
+            <=
+              P : a -> ^X,
+              W is wrapit(X)
+            end
+            """
+        )
+        # make each demand produce a *new* subject so the demand loop
+        # never reaches quiescence
+        counter = {"n": 0}
+
+        def wrapit(value):
+            counter["n"] += 1
+            return tree("a", tree("x", atom(counter["n"])))
+
+        program.registry.register("wrapit", wrapit)
+        interpreter = Interpreter(
+            program.rules,
+            registry=program.registry,
+            max_demand_iterations=50,
+        )
+        with pytest.raises(CyclicProgramError):
+            interpreter.run([tree("a", atom(0))])
+
+    def test_cyclic_splice_detected(self):
+        """Values that dereference each other cyclically are caught at
+        splice time even if the static check is skipped."""
+        program = parse_program(
+            """
+            program SpliceCycle
+            rule A:
+              F(P) : wrapf -> G(P)
+            <=
+              P : a -> X
+            rule B:
+              G(P) : wrapg -> F(P)
+            <=
+              P : a -> X
+            end
+            """
+        )
+        with pytest.raises(CyclicProgramError):
+            program.run([tree("a", atom(1))], validate=False)
+
+
+class TestWarnings:
+    def test_skipped_output_warning(self):
+        """A head needing an unbound variable under a plain edge skips
+        the output with a warning rather than failing the run."""
+        program = parse_program(
+            """
+            program Partial
+            rule R:
+              Out(P) : pair < -> X, -> Y >
+            <=
+              P : a < -> x -> X, *-> y -> Y >
+            end
+            """
+        )
+        # no y children: Y unbound under a plain head edge
+        result = program.run([tree("a", tree("x", atom(1)))])
+        assert not result.trees_of("Out")
+        assert any("skipped" in w for w in result.warnings)
+
+    def test_function_error_warning(self, brochures_program):
+        from tests.conftest import make_brochure
+
+        broken = make_brochure(1, "Golf", 1995, "x", [("V", "9999999")])
+        result = brochures_program.run([broken])
+        assert any("filtered a binding" in w for w in result.warnings)
+
+
+class TestDirectInterpreterUse:
+    def test_interpreter_without_program(self):
+        rule = parse_rule("rule R: Out(X) : copy -> X <= P : a -> X")
+        interpreter = Interpreter([rule])
+        result = interpreter.run(tree("a", atom(7)))
+        assert result.trees_of("Out") == [tree("copy", atom(7))]
+
+    def test_constant_skolem_args_via_parser(self):
+        program = parse_program(
+            """
+            program ConstArgs
+            rule R:
+              Out("fixed", X) : v -> X
+            <=
+              P : a -> X
+            end
+            """
+        )
+        result = program.run([tree("a", atom(1)), tree("a", atom(2))])
+        identifiers = result.ids_of("Out")
+        assert len(identifiers) == 2
+        for identifier in identifiers:
+            functor, args = result.skolems.key_of(identifier)
+            assert args[0] == "fixed"
+
+
+class TestStoreIdentifierHygiene:
+    def test_generated_ids_do_not_collide_with_inputs(self):
+        """Input names and output identifiers share the reference
+        namespace; outputs referencing inputs still resolve."""
+        program = parse_program(
+            """
+            program KeepRefs
+            rule R:
+              Out(P) : holder -> ^V
+            <=
+              P : a -> ^V
+            end
+            """
+        )
+        store = DataStore({"ext": tree("a", Ref("other")),
+                           "other": tree("b", atom(1))})
+        result = program.run(store)
+        [out] = result.trees_of("Out")
+        assert out.references() == [Ref("other")]
+        # the reference dangles in the *output* store (outputs only)
+        assert any("dangling" in w for w in result.warnings)

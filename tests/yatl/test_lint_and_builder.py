@@ -1,0 +1,208 @@
+"""The linter and the fluent builder API."""
+
+import pytest
+
+from repro.errors import YatError
+from repro.yatl.builder import program_, rule_
+from repro.yatl.lint import errors_of, lint_program, lint_rule
+from repro.yatl.parser import parse_program, parse_rule
+
+BROCHURE = (
+    "brochure < -> number -> Num, -> title -> T, -> model -> Year, "
+    "-> desc -> D, -> spplrs *-> supplier < -> name -> SN, "
+    "-> address -> Add > >"
+)
+
+
+class TestLintRule:
+    def test_clean_rule(self, brochures_program):
+        for rule in brochures_program.rules:
+            assert not errors_of(lint_rule(rule, brochures_program.registry))
+
+    def test_unbound_head_variable(self):
+        rule = parse_rule("rule R: Out(X) : pair < -> X, -> Y > <= P : a -> X")
+        diagnostics = errors_of(lint_rule(rule))
+        assert any("'Y'" in d.message for d in diagnostics)
+
+    def test_unbound_skolem_argument(self):
+        rule = parse_rule("rule R: Out(Z) : o -> X <= P : a -> X")
+        diagnostics = errors_of(lint_rule(rule))
+        assert any("Skolem argument 'Z'" in d.message for d in diagnostics)
+
+    def test_call_result_counts_as_bound(self):
+        rule = parse_rule(
+            "rule R: Out(X) : o -> C <= P : a -> X, C is city(X)"
+        )
+        assert not errors_of(lint_rule(rule))
+
+    def test_unknown_function(self):
+        from repro.yatl.functions import standard_registry
+
+        rule = parse_rule("rule R: Out(X) : o -> X <= P : a -> X, Y is nope(X)")
+        diagnostics = errors_of(lint_rule(rule, standard_registry()))
+        assert any("nope" in d.message for d in diagnostics)
+
+    def test_unbound_call_argument_warns(self):
+        rule = parse_rule(
+            "rule R: Out(X) : o -> X <= P : a -> X, C is city(Missing)"
+        )
+        diagnostics = lint_rule(rule)
+        assert any(
+            d.severity == "warning" and "Missing" in d.message
+            for d in diagnostics
+        )
+
+    def test_group_edge_in_body_warns(self):
+        rule = parse_rule("rule R: Out(X) : o -> X <= P : a {}-> b -> X")
+        diagnostics = lint_rule(rule)
+        assert any("head-only" in d.message for d in diagnostics)
+
+    def test_unused_variable_note(self):
+        rule = parse_rule("rule R: Out(X) : o -> X <= P : a < -> X, -> Y >")
+        diagnostics = lint_rule(rule)
+        assert any(d.severity == "note" and "Y" in d.message for d in diagnostics)
+
+    def test_silent_fallback_note(self):
+        rule = parse_rule("rule R: () <= P : ^Any")
+        diagnostics = lint_rule(rule)
+        assert any("no observable effect" in d.message for d in diagnostics)
+
+
+class TestLintProgram:
+    def test_library_programs_clean(self):
+        from repro.library import o2web_program, sgml_brochures_to_odmg
+
+        for factory in (o2web_program, sgml_brochures_to_odmg):
+            program = factory()
+            assert not errors_of(lint_program(program)), factory.__name__
+
+    def test_undefined_skolem_dereference(self):
+        program = parse_program(
+            """
+            program P
+            rule R:
+              Out(X) : holder -> Ghost(X)
+            <=
+              B : a -> X
+            end
+            """
+        )
+        diagnostics = errors_of(lint_program(program))
+        assert any("Ghost" in d.message for d in diagnostics)
+
+    def test_undefined_skolem_reference_warns_only(self):
+        program = parse_program(
+            """
+            program P
+            rule R:
+              Out(X) : holder -> &Ghost(X)
+            <=
+              B : a -> X
+            end
+            """
+        )
+        diagnostics = lint_program(program)
+        ghost = [d for d in diagnostics if "Ghost" in d.message]
+        assert ghost and all(d.severity == "warning" for d in ghost)
+
+    def test_cycle_violations_reported(self):
+        program = parse_program(
+            """
+            program P
+            rule A:
+              F(P) : w -> G(P)
+            <=
+              P : a -> ^X
+            rule B:
+              G(P) : w -> F(P)
+            <=
+              P : a -> ^X
+            end
+            """
+        )
+        diagnostics = errors_of(lint_program(program))
+        assert any("subtree" in d.message for d in diagnostics)
+
+
+class TestBuilder:
+    def test_build_rule1(self, brochures_program, brochure_b1, brochure_b2):
+        rule1 = (
+            rule_("Rule1", known_names=["Psup"])
+            .head("Psup", "SN")
+            .out("class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z >")
+            .match("Pbr", BROCHURE)
+            .where("Year", ">", 1975)
+            .let("C", "city", "Add")
+            .let("Z", "zip", "Add")
+            .build()
+        )
+        assert rule1 == brochures_program.rule("Rule1")
+
+    def test_build_program_runs(self, brochure_b1, brochure_b2):
+        program = (
+            program_("Built")
+            .add(
+                rule_("Rule1")
+                .head("Psup", "SN")
+                .out("class -> supplier < -> name -> SN, -> city -> C, "
+                     "-> zip -> Z >")
+                .match("Pbr", BROCHURE)
+                .where("Year", ">", 1975)
+                .let("C", "city", "Add")
+                .let("Z", "zip", "Add")
+            )
+            .add(
+                rule_("Rule2")
+                .head("Pcar", "Pbr")
+                .out("class -> car < -> name -> T, -> desc -> D, "
+                     "-> suppliers -> set {}-> &Psup(SN) >")
+                .match("Pbr", BROCHURE)
+            )
+            .build()
+        )
+        result = program.run([brochure_b1, brochure_b2])
+        assert result.ids_of("Psup") == ["s1", "s2"]
+
+    def test_lint_on_build(self):
+        with pytest.raises(YatError):
+            (
+                rule_("Broken")
+                .head("Out", "X")
+                .out("pair < -> X, -> NeverBound >")
+                .match("P", "a -> X")
+                .build()
+            )
+
+    def test_lint_can_be_skipped(self):
+        rule = (
+            rule_("Broken")
+            .head("Out", "X")
+            .out("pair < -> X, -> NeverBound >")
+            .match("P", "a -> X")
+            .build(lint=False)
+        )
+        assert rule.name == "Broken"
+
+    def test_fallback_builder(self):
+        rule = (
+            rule_("Exception")
+            .fallback()
+            .match("P", "^Any")
+            .call("exception", "Any")
+            .build()
+        )
+        assert rule.is_fallback
+
+    def test_head_required(self):
+        with pytest.raises(YatError):
+            rule_("NoHead").match("P", "a").build()
+
+    def test_enforced_order(self):
+        program = (
+            program_("Ordered")
+            .add(rule_("A").head("F", "P").out("a").match("P", "x -> V"))
+            .add(rule_("B").head("F", "P").out("b").match("P", "x -> V"))
+            .order("A", "B")
+            .build()
+        )
+        assert program.enforced_order == [("A", "B")]

@@ -1,0 +1,192 @@
+"""The YATL rule/program parser and printer round-trips."""
+
+import pytest
+
+from repro.core.labels import Symbol
+from repro.core.models import odmg_model
+from repro.core.variables import Var
+from repro.errors import SyntaxYatError
+from repro.yatl.ast import FunctionCall, Predicate
+from repro.yatl.parser import parse_program, parse_rule
+from repro.yatl.printer import render_program, render_rule
+
+RULE1_TEXT = """
+rule Rule1:
+  Psup(SN) :
+    class -> supplier < -> name -> SN, -> city -> C, -> zip -> Z >
+<=
+  Pbr :
+    brochure < -> number -> Num,
+               -> title -> T,
+               -> model -> Year,
+               -> desc -> D,
+               -> spplrs *-> supplier < -> name -> SN, -> address -> Add > >,
+  Year > 1975,
+  C is city(Add),
+  Z is zip(Add)
+"""
+
+
+class TestRuleParsing:
+    def test_rule1_structure(self):
+        rule = parse_rule(RULE1_TEXT)
+        assert rule.name == "Rule1"
+        assert rule.head.term.functor == "Psup"
+        assert rule.head.term.args == (Var("SN"),)
+        assert [bp.name.name for bp in rule.body] == ["Pbr"]
+        assert rule.predicates == [Predicate(Var("Year"), ">", 1975)]
+        assert rule.calls == [
+            FunctionCall(Var("C"), "city", [Var("Add")]),
+            FunctionCall(Var("Z"), "zip", [Var("Add")]),
+        ]
+
+    def test_empty_head(self):
+        rule = parse_rule("rule E: () <= P : ^Any, exception(Any)")
+        assert rule.head is None and rule.is_fallback
+
+    def test_boolean_predicate_call(self):
+        rule = parse_rule(
+            "rule R: Out(X) : o <= P : a -> X, sameaddress(X, X, X)"
+        )
+        assert rule.calls[0].result is None
+
+    def test_symbol_constant_in_predicate(self):
+        rule = parse_rule("rule R: Out(X) : o <= P : a -> X, X != car")
+        assert rule.predicates[0].right is Symbol("car")
+
+    def test_body_reference_binding_rewrite(self):
+        rule = parse_rule(
+            """
+            rule R:
+              Out(Pobj) : o
+            <=
+              Pref : &Pobj,
+              Pobj : class -> C:symbol -> ^V
+            """
+        )
+        from repro.core.patterns import PRefLeaf
+        from repro.core.variables import PatternVar
+
+        leaf = rule.body[0].tree
+        assert isinstance(leaf, PRefLeaf)
+        assert isinstance(leaf.target, PatternVar)
+
+    def test_missing_separator(self):
+        with pytest.raises(SyntaxYatError):
+            parse_rule("rule R: Out(X) : o P : a -> X")
+
+    def test_known_names_resolution(self):
+        rule = parse_rule(
+            "rule R: Out(X) : o <= P : a -> Ptype",
+            known_names={"Ptype"},
+        )
+        from repro.core.patterns import PNameLeaf
+
+        leaf = rule.body[0].tree.edges[0].target
+        assert isinstance(leaf, PNameLeaf)
+
+
+class TestProgramParsing:
+    def test_program_with_models(self):
+        program = parse_program(
+            """
+            program WithModels
+            input model SGML
+            output model ODMG
+            rule R:
+              Out(X) : class -> c -> X
+            <=
+              P : a -> X
+            end
+            """
+        )
+        assert program.input_model.name == "SGML"
+        assert program.output_model.name == "ODMG"
+
+    def test_inline_model(self):
+        program = parse_program(
+            """
+            program Inline
+            input model Mine { pattern Pbr = brochure *-> ^X }
+            rule R:
+              Out(X) : o
+            <=
+              P : a -> X
+            end
+            """
+        )
+        assert program.input_model.pattern_names() == ["Pbr"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SyntaxYatError):
+            parse_program("program P input model Nope end")
+
+    def test_custom_model_mapping(self):
+        model = odmg_model()
+        model.name = "Custom"
+        program = parse_program(
+            "program P input model Custom rule R: Out(X):o <= B: a -> X end",
+            models={"Custom": model},
+        )
+        assert program.input_model is model
+
+    def test_duplicate_rule_names_rejected(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            parse_program(
+                """
+                program P
+                rule R: Out(X) : o <= B : a -> X
+                rule R: Out2(X) : o <= B : a -> X
+                end
+                """
+            )
+
+    def test_hierarchy_clause(self):
+        program = parse_program(
+            """
+            program P
+            rule A: F(X) : a <= B : x -> X
+            rule C: F(X) : c <= B : x -> X
+            hierarchy A under C
+            end
+            """
+        )
+        assert program.enforced_order == [("A", "C")]
+
+    def test_missing_end(self):
+        with pytest.raises(SyntaxYatError):
+            parse_program("program P rule R: Out(X) : o <= B : a -> X")
+
+
+class TestRoundTrips:
+    def test_rule_round_trip(self):
+        rule = parse_rule(RULE1_TEXT)
+        again = parse_rule(render_rule(rule))
+        assert again == rule
+
+    def test_library_programs_round_trip(self):
+        from repro.library.programs import (
+            matrix_transpose_program,
+            o2web_program,
+            sgml_brochures_to_odmg,
+            supplier_list_program,
+        )
+        from repro.yatl.functions import standard_registry
+
+        for factory in (
+            o2web_program,
+            sgml_brochures_to_odmg,
+            matrix_transpose_program,
+            supplier_list_program,
+        ):
+            program = factory()
+            reparsed = parse_program(
+                render_program(program), registry=standard_registry()
+            )
+            assert reparsed.rules == program.rules, factory.__name__
+
+    def test_empty_head_round_trip(self):
+        rule = parse_rule("rule E: () <= P : ^Any, exception(Any)")
+        assert parse_rule(render_rule(rule)) == rule

@@ -1,0 +1,98 @@
+"""Skolem table: identifier allocation and the non-determinism alert."""
+
+import pytest
+
+from repro.core.trees import Ref, atom, tree
+from repro.errors import NonDeterminismError
+from repro.yatl.skolem import SkolemTable
+
+
+class TestIdentifiers:
+    def test_same_term_same_id(self):
+        table = SkolemTable()
+        first = table.id_for("Psup", ("VW center",))
+        second = table.id_for("Psup", ("VW center",))
+        assert first == second == "s1"
+
+    def test_distinct_args_distinct_ids(self):
+        table = SkolemTable()
+        assert table.id_for("Psup", ("a",)) != table.id_for("Psup", ("b",))
+
+    def test_paper_prefixes(self):
+        table = SkolemTable()
+        assert table.id_for("Psup", ("x",)) == "s1"
+        assert table.id_for("Pcar", (1,)) == "c1"
+
+    def test_prefix_collision_extends(self):
+        table = SkolemTable()
+        assert table.id_for("Psup", ()) == "s1"
+        other = table.id_for("Psomething", ())
+        assert other != "s2" and other.startswith("so")
+
+    def test_functors_keep_their_prefix(self):
+        table = SkolemTable()
+        table.id_for("Psup", ("a",))
+        table.id_for("Psomething", ())
+        assert table.id_for("Psup", ("b",)) == "s2"
+
+    def test_tree_arguments_structural(self):
+        table = SkolemTable()
+        a = table.id_for("Pcar", (tree("brochure", tree("number", atom(1))),))
+        b = table.id_for("Pcar", (tree("brochure", tree("number", atom(1))),))
+        c = table.id_for("Pcar", (tree("brochure", tree("number", atom(2))),))
+        assert a == b != c
+
+    def test_ref_arguments(self):
+        table = SkolemTable()
+        assert table.id_for("P", (Ref("x"),)) == table.id_for("P", (Ref("x"),))
+
+    def test_key_of_round_trip(self):
+        table = SkolemTable()
+        identifier = table.id_for("Psup", ("VW",))
+        assert table.key_of(identifier) == ("Psup", ("VW",))
+        assert table.functor_of(identifier) == "Psup"
+
+    def test_lookup_without_allocation(self):
+        table = SkolemTable()
+        assert table.lookup("Psup", ("VW",)) is None
+        table.id_for("Psup", ("VW",))
+        assert table.lookup("Psup", ("VW",)) == "s1"
+
+    def test_ids_of_functor(self):
+        table = SkolemTable()
+        table.id_for("Psup", ("a",))
+        table.id_for("Pcar", (1,))
+        table.id_for("Psup", ("b",))
+        assert table.ids_of_functor("Psup") == ["s1", "s2"]
+
+
+class TestValues:
+    def test_associate_and_value(self):
+        table = SkolemTable()
+        identifier = table.id_for("Psup", ("VW",))
+        value = tree("class", tree("supplier"))
+        table.associate(identifier, value)
+        assert table.value(identifier) == value
+        assert table.has_value(identifier)
+
+    def test_identical_reassociation_ok(self):
+        table = SkolemTable()
+        identifier = table.id_for("Psup", ("VW",))
+        table.associate(identifier, tree("x"))
+        table.associate(identifier, tree("x"))
+
+    def test_conflicting_values_alert(self):
+        """Section 3.1: 'alert the user at run time when the same
+        pattern name is associated to two distinct values'."""
+        table = SkolemTable()
+        identifier = table.id_for("Psup", ("VW",))
+        table.associate(identifier, tree("x"))
+        with pytest.raises(NonDeterminismError) as exc:
+            table.associate(identifier, tree("y"))
+        assert "Psup" in str(exc.value)
+
+    def test_value_missing(self):
+        table = SkolemTable()
+        identifier = table.id_for("Psup", ("VW",))
+        assert table.value(identifier) is None
+        assert not table.has_value(identifier)

@@ -1,0 +1,89 @@
+"""Targeted evaluation (the paper's future-work direction): querying
+one output functor without materializing unrelated outputs."""
+
+import pytest
+
+from repro.core.labels import Symbol
+from repro.core.trees import atom, tree
+from repro.yatl.parser import parse_program
+
+
+@pytest.fixture
+def three_output_program():
+    """Pcar needs Psup (references); Pstats is independent and derefs
+    an expensive helper."""
+    return parse_program(
+        """
+        program Multi
+        rule Cars:
+          Pcar(Pbr) :
+            car < -> title -> T, -> sup -> &Psup(SN) >
+        <=
+          Pbr : brochure < -> title -> T, -> sup -> SN >
+        rule Sups:
+          Psup(SN) :
+            supplier -> SN
+        <=
+          Pbr : brochure < -> title -> T, -> sup -> SN >
+        rule Stats:
+          Pstats(Pbr) :
+            stats -> T
+        <=
+          Pbr : brochure < -> title -> T, -> sup -> SN >
+        end
+        """
+    )
+
+
+@pytest.fixture
+def inputs():
+    return [
+        tree("brochure", tree("title", atom("Golf")), tree("sup", atom("VW"))),
+        tree("brochure", tree("title", atom("Polo")), tree("sup", atom("VW2"))),
+    ]
+
+
+class TestTargetedEvaluation:
+    def test_full_run_builds_everything(self, three_output_program, inputs):
+        result = three_output_program.run(inputs)
+        assert result.ids_of("Pcar") and result.ids_of("Psup")
+        assert result.ids_of("Pstats")
+
+    def test_target_skips_unneeded_functors(self, three_output_program, inputs):
+        result = three_output_program.run(inputs, target_functors=["Pcar"])
+        assert len(result.ids_of("Pcar")) == 2
+        assert len(result.ids_of("Psup")) == 2  # needed through &Psup(SN)
+        assert not result.ids_of("Pstats")  # not materialized
+
+    def test_target_leaf_functor(self, three_output_program, inputs):
+        result = three_output_program.run(inputs, target_functors=["Pstats"])
+        assert result.ids_of("Pstats")
+        assert not result.ids_of("Pcar") and not result.ids_of("Psup")
+
+    def test_query_helper(self, three_output_program, inputs):
+        cars = three_output_program.query(inputs, "Pcar")
+        assert len(cars) == 2
+        assert all(str(c.label) == "car" for c in cars)
+
+    def test_targeted_output_identical_to_full(self, three_output_program, inputs):
+        full = three_output_program.run(inputs)
+        targeted = three_output_program.run(inputs, target_functors=["Pcar"])
+        for identifier in targeted.ids_of("Pcar"):
+            assert targeted.store.materialize(identifier) == full.store.materialize(
+                identifier
+            )
+
+    def test_recursive_program_targeting(self, web_program, golf_store):
+        """Targeting HtmlPage pulls HtmlElement transitively."""
+        result = web_program.run(golf_store, target_functors=["HtmlPage"])
+        assert len(result.ids_of("HtmlPage")) == 2
+        page = result.store.materialize(result.ids_of("HtmlPage")[0])
+        assert page.find(Symbol("ul")) is not None  # elements were built
+
+    def test_brochures_target_supplier_only(self, brochures_program,
+                                            brochure_b1, brochure_b2):
+        result = brochures_program.run(
+            [brochure_b1, brochure_b2], target_functors=["Psup"]
+        )
+        assert result.ids_of("Psup") == ["s1", "s2"]
+        assert not result.ids_of("Pcar")
