@@ -1,0 +1,178 @@
+"""Wall-clock benchmark for rule-dispatch indexing (ablation).
+
+The car-dealer mediation scenario, scaled: the mediator's document base
+holds the Section 3.1 SGML brochures *plus* thousands of other document
+kinds flowing through the dealership (price lists, invoices, service
+records...), each converted by its own rule. Without dispatch indexing
+every rule attempts a body match against every input tree —
+O(rules x inputs) — and almost all of those attempts are rejections.
+The index prunes them to the trees whose root signature the rule could
+actually match.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_dispatch_index.py              # full: >=10k trees
+    python benchmarks/bench_dispatch_index.py --quick      # CI smoke
+    python benchmarks/bench_dispatch_index.py --no-index   # ablation leg only
+
+The default mode times both configurations, reports the speedup, and
+asserts the output stores are identical (indexing must never change
+results, only how fast non-matches are discarded).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.trees import DataStore, tree  # noqa: E402
+from repro.library.programs import BROCHURES_TEXT  # noqa: E402
+from repro.workloads import brochure_trees  # noqa: E402
+from repro.yatl.parser import parse_program  # noqa: E402
+
+_KIND_BASES = [
+    "pricelist",
+    "invoice",
+    "service_record",
+    "warranty",
+    "testdrive",
+    "order",
+    "delivery",
+    "tradein",
+    "inspection",
+    "leasing",
+]
+
+
+def kind_names(count: int):
+    """``count`` distinct document-kind names, car-dealer flavoured."""
+    return [
+        f"{_KIND_BASES[i % len(_KIND_BASES)]}_{i // len(_KIND_BASES)}"
+        for i in range(count)
+    ]
+
+
+def dealer_program(kinds):
+    """Rules 1+2 (brochures -> car/supplier objects) combined with one
+    conversion rule per extra document kind the dealership produces."""
+    lines = [BROCHURES_TEXT.strip().rsplit("end", 1)[0]]
+    for kind in kinds:
+        lines.append(
+            f"""
+rule Conv_{kind}:
+  P{kind}(Id) :
+    class -> {kind} < -> id -> Id, -> amount -> A >
+<=
+  Pdoc_{kind} :
+    {kind} < -> id -> Id, -> dealer -> Dl, -> amount -> A >
+"""
+        )
+    lines.append("end")
+    return parse_program("\n".join(lines))
+
+
+def dealer_store(brochures: int, documents: int, kinds) -> DataStore:
+    """A heterogeneous input store: brochures interleaved with the
+    other document kinds, in a deterministic round-robin order."""
+    store = DataStore()
+    for index, node in enumerate(brochure_trees(brochures, distinct_suppliers=10)):
+        store.add(f"br{index}", node)
+    for index in range(documents):
+        kind = kinds[index % len(kinds)]
+        node = tree(
+            kind,
+            tree("id", index),
+            tree("dealer", f"VW dealer {index % 7}"),
+            tree("amount", 100 + index % 900),
+        )
+        store.add(f"doc{index}", node)
+    return store
+
+
+def run_once(program, store, use_index: bool):
+    start = time.perf_counter()
+    result = program.run(store, use_dispatch_index=use_index)
+    elapsed = time.perf_counter() - start
+    if result.unconverted:
+        raise AssertionError(
+            f"benchmark store must be fully convertible; "
+            f"{len(result.unconverted)} tree(s) left over"
+        )
+    return elapsed, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trees", type=int, default=10_000,
+        help="extra document trees beyond the brochures (default 10000)",
+    )
+    parser.add_argument(
+        "--brochures", type=int, default=200,
+        help="brochure trees converted by Rules 1+2 (default 200)",
+    )
+    parser.add_argument(
+        "--kinds", type=int, default=50,
+        help="distinct extra document kinds, one rule each (default 50)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="timed repetitions per configuration; best is reported",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke sizes for CI (overrides --trees/--brochures/--kinds)",
+    )
+    parser.add_argument(
+        "--no-index", action="store_true",
+        help="ablation: run only the unindexed configuration",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.trees, args.brochures, args.kinds = 600, 30, 8
+    if min(args.trees, args.brochures, args.kinds) < 0:
+        parser.error("--trees/--brochures/--kinds must be >= 0")
+    if args.trees and not args.kinds:
+        parser.error("--kinds must be >= 1 when --trees > 0")
+
+    kinds = kind_names(args.kinds)
+    program = dealer_program(kinds)
+    store = dealer_store(args.brochures, args.trees, kinds)
+    total = len(store)
+    print(
+        f"car-dealer store: {total} input trees "
+        f"({args.brochures} brochures + {args.trees} documents over "
+        f"{args.kinds} kinds), {len(program.rules)} rules"
+    )
+
+    def best_of(use_index: bool):
+        timings = []
+        result = None
+        for _ in range(max(1, args.repeat)):
+            elapsed, result = run_once(program, store, use_index)
+            timings.append(elapsed)
+        return min(timings), result
+
+    unindexed_time, unindexed_result = best_of(use_index=False)
+    print(f"  no-index : {unindexed_time * 1000:9.1f} ms")
+    if args.no_index:
+        return 0
+
+    indexed_time, indexed_result = best_of(use_index=True)
+    print(f"  indexed  : {indexed_time * 1000:9.1f} ms")
+
+    if list(indexed_result.store.items()) != list(unindexed_result.store.items()):
+        print("FAIL: indexed and unindexed runs produced different stores")
+        return 1
+    speedup = unindexed_time / indexed_time if indexed_time else float("inf")
+    print(f"  speedup  : {speedup:9.2f}x  (identical output stores)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

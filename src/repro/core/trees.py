@@ -80,6 +80,12 @@ class Tree:
     def is_leaf(self) -> bool:
         return not self.children
 
+    @property
+    def root_signature(self) -> Tuple[Label, int]:
+        """``(label, child count)`` — the cheap key rule-dispatch
+        indexing tests before attempting a full body match."""
+        return (self.label, len(self.children))
+
     def child(self, index: int) -> Child:
         return self.children[index]
 

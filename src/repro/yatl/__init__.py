@@ -17,6 +17,12 @@ from .functions import (
 )
 from .skolem import SkolemTable
 from .matching import MatchContext, match_body, match_child, match_edges
+from .dispatch import (
+    RootSignature,
+    RuleDispatchIndex,
+    pattern_root_signature,
+    rule_root_signature,
+)
 from .construction import Constructor, Unbound, deref_placeholder, is_deref_placeholder
 from .hierarchy import Hierarchy, rule_input_model
 from .cycles import (

@@ -62,6 +62,7 @@ class Hierarchy:
         # more_specific[a] = set of rule names strictly more general than a
         self._more_general: Dict[str, Set[str]] = {r.name: set() for r in self.rules}
         self._input_models: Dict[str, Model] = {}
+        self._dispatch_index = None  # built on demand; rules are fixed
         self._build()
         for specific, general in enforced:
             if specific not in self._by_name or general not in self._by_name:
@@ -136,6 +137,15 @@ class Hierarchy:
 
     # -- queries ----------------------------------------------------------------
 
+    def dispatch_index(self):
+        """The root-signature dispatch index over this hierarchy's
+        rules (built once — both hierarchy and rules are immutable)."""
+        if self._dispatch_index is None:
+            from .dispatch import RuleDispatchIndex  # deferred: dispatch uses ast
+
+            self._dispatch_index = RuleDispatchIndex(self.rules)
+        return self._dispatch_index
+
     def more_general_than(self, rule_name: str) -> Set[str]:
         return set(self._more_general.get(rule_name, ()))
 
@@ -172,9 +182,10 @@ class Hierarchy:
             depth[name] = value
             return value
 
+        declaration_order = {id(rule): i for i, rule in enumerate(self.rules)}
         ordered = sorted(
             self.rules,
-            key=lambda r: (r.is_fallback, -depth_of(r.name), self.rules.index(r)),
+            key=lambda r: (r.is_fallback, -depth_of(r.name), declaration_order[id(r)]),
         )
         return ordered
 

@@ -47,9 +47,11 @@ class ConversionResult:
 
     ``store`` maps generated identifiers to their (dereferenced) trees;
     ``skolems`` exposes the Skolem table for identifier introspection;
-    ``unconverted`` lists input trees no rule matched; ``warnings``
-    collects non-fatal anomalies (filtered function errors, dangling
-    references in non-strict mode...).
+    ``unconverted`` lists input trees no rule matched — fallback
+    (empty-head) rules count as matching, so an input a fallback handled
+    is *not* reported unconverted; ``warnings`` collects non-fatal
+    anomalies (filtered function errors, dangling references in
+    non-strict mode...).
     """
 
     def __init__(
@@ -115,9 +117,21 @@ class Interpreter:
     runtime_typing:
         Section 3.5's run-time check: raise
         :class:`~repro.errors.UnconvertedDataError` when an input tree
-        is matched by no rule (unless a fallback rule handles it).
+        is matched by no rule — not even a fallback rule.
     strict_refs:
         Raise on dangling ``&`` references instead of warning.
+    use_dispatch_index:
+        Pre-filter each rule's candidate subjects through the
+        root-signature dispatch index (see :mod:`.dispatch`). On by
+        default; disable to measure the unindexed O(rules × inputs)
+        behaviour (the benchmark's ``--no-index`` ablation).
+    parallel_safe_batches:
+        When > 1, partition the input trees into that many contiguous
+        batches and run the top-level rules batch by batch over one
+        shared Skolem table. Batches are independent (shadowing is per
+        input tree and Skolem identity is global), so results are
+        equivalent to a single pass — but identifiers are numbered in
+        batch-completion order rather than rule-major order.
     """
 
     def __init__(
@@ -130,6 +144,8 @@ class Interpreter:
         strict_refs: bool = False,
         max_demand_iterations: int = 100_000,
         target_functors: Optional[Sequence[str]] = None,
+        use_dispatch_index: bool = True,
+        parallel_safe_batches: Optional[int] = None,
     ) -> None:
         self.rules = list(rules)
         self.registry = registry or standard_registry()
@@ -138,6 +154,10 @@ class Interpreter:
         self.runtime_typing = runtime_typing
         self.strict_refs = strict_refs
         self.max_demand_iterations = max_demand_iterations
+        self.dispatch = self.hierarchy.dispatch_index() if use_dispatch_index else None
+        if parallel_safe_batches is not None and parallel_safe_batches < 1:
+            raise ValueError("parallel_safe_batches must be >= 1")
+        self.parallel_safe_batches = parallel_safe_batches
         # Targeted evaluation (the paper's future work: "querying the
         # target data representation without materializing it"): when
         # target functors are given, only the rules those functors
@@ -175,9 +195,29 @@ class Interpreter:
     def run(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
         store = _as_store(data)
         state = _RunState(self, store)
-        state.apply_top_level()
+        for batch in self._batches(state.inputs):
+            state.apply_top_level(batch)
+        state.apply_fallbacks()
         state.demand_loop()
         return state.finish()
+
+    def _batches(self, inputs: List[Tree]) -> List[List[Tree]]:
+        """Contiguous input partitions for batched evaluation (one list
+        — the whole input — unless ``parallel_safe_batches`` asks for
+        more). Contiguity preserves the relative input order every
+        batch sees."""
+        count = self.parallel_safe_batches
+        if not count or count <= 1 or len(inputs) <= 1:
+            return [inputs]
+        count = min(count, len(inputs))
+        size, remainder = divmod(len(inputs), count)
+        batches: List[List[Tree]] = []
+        start = 0
+        for index in range(count):
+            stop = start + size + (1 if index < remainder else 0)
+            batches.append(inputs[start:stop])
+            start = stop
+        return batches
 
     # ------------------------------------------------------------------
     # Phases 1-3 for one rule
@@ -264,9 +304,25 @@ class _RunState:
         self.pending_deref: Set[str] = set()
         self.pending_ref: Set[str] = set()
         self.applied: Set[Tuple[str, Tree]] = set()  # (rule name, demand tree)
+        # Rule names that *matched* a demand subject, keyed by the
+        # subject itself. Persisted across demand iterations (and thus
+        # shared by structurally-equal subjects) so a general rule stays
+        # shadowed once a more specific one has matched the subject.
+        self.demand_matched: Dict[Union[Tree, Ref], Set[str]] = {}
         self.matched_inputs: Set[int] = set()  # ids of converted input trees
+        # Converted input trees by *value*: binding deduplication can
+        # collapse structurally-equal inputs into one binding, so id()
+        # bookkeeping alone under-reports conversions.
+        self.matched_values: Set[Tree] = set()
         self.root_refs: Dict[str, Ref] = {}  # heads that built a bare reference
         self.order = interpreter.hierarchy.specific_first()
+        # Hierarchy shadowing state, keyed by id(input tree); spans
+        # batches (batches never share tree objects).
+        self._matched_by: Dict[int, Set[str]] = {}
+        # Dispatch-index candidate lists, shared between rules with
+        # equivalent signatures; one cache per batch (see
+        # RuleDispatchIndex.candidates).
+        self._candidate_caches: Dict[int, Dict] = {}
         # Provenance: output identifier -> names of the input trees it
         # was derived from. Demand-driven outputs inherit the origins of
         # the output whose construction demanded them.
@@ -290,41 +346,80 @@ class _RunState:
 
     # -- top-level application --------------------------------------------------
 
-    def apply_top_level(self) -> None:
-        """Apply every rule over the whole input set, with hierarchy
-        shadowing per root input tree and fallback rules last."""
-        matched_by: Dict[int, Set[str]] = {}  # input tree id -> rule names
+    def apply_top_level(self, inputs: Optional[List[Tree]] = None) -> None:
+        """Apply every non-fallback rule over *inputs* (one batch; the
+        whole input set by default), with hierarchy shadowing per root
+        input tree. Fallback rules run afterwards, once, over the whole
+        run's leftovers — see :meth:`apply_fallbacks`."""
+        if inputs is None:
+            inputs = self.inputs
         needed = self.interp.needed_functors
         for rule in self.order:
             if rule.is_fallback:
                 continue
             if needed is not None and rule.head_functor not in needed:
                 continue  # targeted evaluation: this output is not queried
-            self._apply_rule_with_shadowing(rule, matched_by)
-        # Fallback (empty-head) rules: only over unconverted inputs.
-        leftovers = [t for t in self.inputs if id(t) not in self.matched_inputs]
-        if leftovers:
-            for rule in self.order:
-                if not rule.is_fallback:
-                    continue
-                self.interp.rule_bindings(
-                    rule, leftovers, self.match_ctx, self.warnings
-                )
-            if self.interp.runtime_typing and not any(
-                r.is_fallback for r in self.order
-            ):
+            self._apply_rule_with_shadowing(rule, inputs)
+
+    def apply_fallbacks(self) -> None:
+        """Fallback (empty-head) rules over the inputs no other rule
+        converted, recording what they match; with ``runtime_typing``,
+        raise for inputs that not even a fallback rule matched."""
+        leftovers = [t for t in self.inputs if not self._converted(t)]
+        if not leftovers:
+            return
+        for rule in self.order:
+            if not rule.is_fallback:
+                continue
+            candidates = self._candidates(rule, leftovers)
+            if not candidates:
+                continue
+            bindings = self.interp.rule_bindings(
+                rule, candidates, self.match_ctx, self.warnings
+            )
+            # A fallback match *handles* the input (the paper's Rule
+            # Exception): account it as converted.
+            for binding in bindings:
+                for bp in rule.root_body_patterns():
+                    value = binding.get(bp.name.name)
+                    if isinstance(value, Tree):
+                        self.matched_inputs.add(id(value))
+                        self.matched_values.add(value)
+        if self.interp.runtime_typing:
+            unhandled = [t for t in leftovers if not self._converted(t)]
+            if unhandled:
                 raise UnconvertedDataError(
-                    f"{len(leftovers)} input tree(s) matched by no rule "
-                    f"(first: {str(leftovers[0])[:80]!r})"
+                    f"{len(unhandled)} input tree(s) matched by no rule "
+                    f"(not even a fallback rule; first: "
+                    f"{str(unhandled[0])[:80]!r})"
                 )
 
-    def _apply_rule_with_shadowing(
-        self, rule: Rule, matched_by: Dict[int, Set[str]]
-    ) -> None:
+    def _converted(self, node: Tree) -> bool:
+        return id(node) in self.matched_inputs or node in self.matched_values
+
+    def _candidates(self, rule: Rule, inputs: List[Tree]) -> Sequence[Tree]:
+        """The inputs *rule* could match, per the dispatch index (all of
+        them when indexing is off or the rule is unindexed)."""
+        dispatch = self.interp.dispatch
+        if dispatch is None:
+            return inputs
+        # The entry retains the inputs list so its id() stays allocated
+        # for as long as the cache references it (id reuse would
+        # otherwise alias a dead batch list to a fresh one).
+        entry = self._candidate_caches.get(id(inputs))
+        if entry is None or entry[0] is not inputs:
+            entry = (inputs, {})
+            self._candidate_caches[id(inputs)] = entry
+        return dispatch.candidates(rule, inputs, entry[1])
+
+    def _apply_rule_with_shadowing(self, rule: Rule, inputs: List[Tree]) -> None:
         roots = rule.root_body_patterns()
         single_root = roots[0].name.name if len(roots) == 1 else None
+        candidates = self._candidates(rule, inputs)
+        if not candidates:
+            return
         bindings = self.interp.rule_bindings(
-            rule, self.inputs, self.match_ctx, self.warnings
+            rule, candidates, self.match_ctx, self.warnings
         )
         if not bindings:
             return
@@ -333,7 +428,7 @@ class _RunState:
             for binding in bindings:
                 root_tree = binding.get(single_root)
                 key = id(root_tree)
-                names = matched_by.setdefault(key, set())
+                names = self._matched_by.setdefault(key, set())
                 if self.interp.hierarchy.shadowed(rule, names):
                     continue
                 kept.append(binding)
@@ -341,8 +436,10 @@ class _RunState:
                 return
             for binding in kept:
                 root_tree = binding.get(single_root)
-                matched_by.setdefault(id(root_tree), set()).add(rule.name)
+                self._matched_by.setdefault(id(root_tree), set()).add(rule.name)
                 self.matched_inputs.add(id(root_tree))
+                if isinstance(root_tree, Tree):
+                    self.matched_values.add(root_tree)
             bindings = kept
         else:
             for binding in bindings:
@@ -350,6 +447,8 @@ class _RunState:
                     root_tree = binding.get(bp.name.name)
                     if root_tree is not None:
                         self.matched_inputs.add(id(root_tree))
+                        if isinstance(root_tree, Tree):
+                            self.matched_values.add(root_tree)
         self._construct_outputs(rule, bindings)
 
     # -- phases 4-5 -------------------------------------------------------------
@@ -451,12 +550,22 @@ class _RunState:
         if subject is None:
             return False
         progressed = False
-        matched: Set[str] = set()
+        # `applied` and `matched` both key on the subject's structural
+        # identity: Skolem terms are value-keyed, so equal subjects
+        # produce identical outputs, and the shadowing state must be
+        # shared too — a general rule stays shadowed once a more
+        # specific rule matched this subject, including on later
+        # iterations for a still-pending identifier.
+        matched = self.demand_matched.setdefault(subject, set())
+        dispatch = self.interp.dispatch
         for rule in defining:
             key = (rule.name, subject)
             if key in self.applied:
                 continue
             if self.interp.hierarchy.shadowed(rule, matched):
+                continue
+            if dispatch is not None and not dispatch.admits(rule, subject):
+                self.applied.add(key)  # can never match: remember the rejection
                 continue
             self.applied.add(key)
             bindings = self.interp.rule_bindings(
@@ -524,7 +633,7 @@ class _RunState:
             if self.interp.strict_refs:
                 raise DanglingReferenceError(message)
             self.warnings.append(message)
-        unconverted = [t for t in self.inputs if id(t) not in self.matched_inputs]
+        unconverted = [t for t in self.inputs if not self._converted(t)]
         provenance = {
             identifier: origins
             for identifier, origins in self.provenance.items()

@@ -53,6 +53,18 @@ class MatchContext:
         # Used when a collection child conflicts with bound join
         # variables and only shape matters (see match_edges).
         self._coverage: Dict[Tuple[int, Union[Tree, Ref]], bool] = {}
+        # Memoized *root* match failures: (root pattern id, subject).
+        # A root body pattern matched under an empty environment is a
+        # pure function of (pattern, subject, store, model) — all fixed
+        # for this context — so a rejected subject is never re-matched,
+        # neither by the demand loop nor for structurally-equal trees.
+        self._root_failures: set = set()
+
+    def known_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> bool:
+        return (id(pattern), subject) in self._root_failures
+
+    def record_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> None:
+        self._root_failures.add((id(pattern), subject))
 
     def instance_check(self, node: Union[Tree, Ref], pattern_name: str) -> bool:
         """Check *node* against a named model pattern; unresolvable
@@ -282,8 +294,13 @@ def _apply_body_pattern(
             candidates = list(input_trees)
         else:
             continue  # dependent pattern with an unbound name: no match
+        # Under an *empty* environment the match outcome depends only on
+        # (pattern, candidate), so failures are memoizable.
+        memoizable = not len(env)
         for candidate in candidates:
             if not isinstance(candidate, (Tree, Ref)):
+                continue
+            if memoizable and ctx.known_root_failure(bp.tree, candidate):
                 continue
             named = env.bind(bp.name, candidate)
             if named is None:
@@ -297,5 +314,7 @@ def _apply_body_pattern(
                     renamed = env.bind(bp.name, resolved)
                     if renamed is not None:
                         matches = match_child(bp.tree, resolved, renamed, ctx)
+            if not matches and memoizable:
+                ctx.record_root_failure(bp.tree, candidate)
             extended.extend(matches)
     return extended

@@ -129,6 +129,8 @@ class Program:
         strict_refs: bool = False,
         validate: bool = True,
         target_functors: Optional[Sequence[str]] = None,
+        use_dispatch_index: bool = True,
+        parallel_safe_batches: Optional[int] = None,
     ) -> ConversionResult:
         """Convert *data*, returning the output store.
 
@@ -138,6 +140,10 @@ class Program:
         evaluation to the outputs a query needs (and their transitive
         Skolem dependencies) — the paper's future-work direction of
         querying the target without materializing all of it.
+        ``use_dispatch_index`` (default) pre-filters rule candidates by
+        root signature; disable it for ablation measurements.
+        ``parallel_safe_batches`` splits top-level evaluation into that
+        many independent input partitions (see :class:`Interpreter`).
         """
         if validate:
             self.validate()
@@ -149,6 +155,8 @@ class Program:
             runtime_typing=runtime_typing,
             strict_refs=strict_refs,
             target_functors=target_functors,
+            use_dispatch_index=use_dispatch_index,
+            parallel_safe_batches=parallel_safe_batches,
         )
         return interpreter.run(data)
 
