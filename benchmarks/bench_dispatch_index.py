@@ -14,15 +14,20 @@ Run standalone (not under pytest)::
     python benchmarks/bench_dispatch_index.py              # full: >=10k trees
     python benchmarks/bench_dispatch_index.py --quick      # CI smoke
     python benchmarks/bench_dispatch_index.py --no-index   # ablation leg only
+    python benchmarks/bench_dispatch_index.py --json out.json  # machine-readable
 
 The default mode times both configurations, reports the speedup, and
 asserts the output stores are identical (indexing must never change
-results, only how fast non-matches are discarded).
+results, only how fast non-matches are discarded). ``--json`` also
+writes per-leg wall times plus the run's key observability metrics
+(dispatch ratios, Skolem stats, demand iterations) so CI can archive
+them as an artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -33,6 +38,24 @@ from repro.core.trees import DataStore, tree  # noqa: E402
 from repro.library.programs import BROCHURES_TEXT  # noqa: E402
 from repro.workloads import brochure_trees  # noqa: E402
 from repro.yatl.parser import parse_program  # noqa: E402
+
+_KEY_METRICS = [
+    "yatl.inputs.total",
+    "yatl.inputs.converted",
+    "yatl.outputs.trees",
+    "yatl.rule.applications",
+    "yatl.rule.bindings_matched",
+    "yatl.dispatch.indexed_calls",
+    "yatl.dispatch.unindexed_calls",
+    "yatl.dispatch.subjects_considered",
+    "yatl.dispatch.subjects_admitted",
+    "yatl.dispatch.hit_ratio",
+    "yatl.dispatch.candidate_reduction_ratio",
+    "yatl.skolem.ids_fresh",
+    "yatl.skolem.ids_reused",
+    "yatl.demand.iterations",
+    "yatl.match.root_memo_hits",
+]
 
 _KIND_BASES = [
     "pricelist",
@@ -131,6 +154,10 @@ def main(argv=None) -> int:
         "--no-index", action="store_true",
         help="ablation: run only the unindexed configuration",
     )
+    parser.add_argument(
+        "--json", metavar="FILE", dest="json_path",
+        help="write timings and key run metrics to FILE as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -158,20 +185,57 @@ def main(argv=None) -> int:
             timings.append(elapsed)
         return min(timings), result
 
+    def leg_report(elapsed: float, result) -> dict:
+        metrics = result.metrics
+        report = {"wall_ms": round(elapsed * 1000, 3)}
+        for name in _KEY_METRICS:
+            metric = metrics.get(name)
+            if metric is not None:
+                report[name] = metric.total()
+        return report
+
+    report = {
+        "benchmark": "dispatch_index",
+        "scenario": {
+            "input_trees": total,
+            "brochures": args.brochures,
+            "documents": args.trees,
+            "kinds": args.kinds,
+            "rules": len(program.rules),
+            "repeat": args.repeat,
+        },
+        "legs": {},
+    }
+
     unindexed_time, unindexed_result = best_of(use_index=False)
     print(f"  no-index : {unindexed_time * 1000:9.1f} ms")
-    if args.no_index:
-        return 0
+    report["legs"]["no_index"] = leg_report(unindexed_time, unindexed_result)
+    exit_code = 0
+    if not args.no_index:
+        indexed_time, indexed_result = best_of(use_index=True)
+        print(f"  indexed  : {indexed_time * 1000:9.1f} ms")
+        report["legs"]["indexed"] = leg_report(indexed_time, indexed_result)
 
-    indexed_time, indexed_result = best_of(use_index=True)
-    print(f"  indexed  : {indexed_time * 1000:9.1f} ms")
+        same = list(indexed_result.store.items()) == list(
+            unindexed_result.store.items()
+        )
+        report["identical_outputs"] = same
+        if not same:
+            print("FAIL: indexed and unindexed runs produced different stores")
+            exit_code = 1
+        else:
+            speedup = (
+                unindexed_time / indexed_time if indexed_time else float("inf")
+            )
+            report["speedup"] = round(speedup, 3)
+            print(f"  speedup  : {speedup:9.2f}x  (identical output stores)")
 
-    if list(indexed_result.store.items()) != list(unindexed_result.store.items()):
-        print("FAIL: indexed and unindexed runs produced different stores")
-        return 1
-    speedup = unindexed_time / indexed_time if indexed_time else float("inf")
-    print(f"  speedup  : {speedup:9.2f}x  (identical output stores)")
-    return 0
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  json     : {args.json_path}")
+    return exit_code
 
 
 if __name__ == "__main__":

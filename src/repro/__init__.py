@@ -21,7 +21,7 @@ Quickstart::
     pages = system.publish_to_html(system.import_program("O2Web"), objects)
 """
 
-from . import core, errors, html, library, objectdb, relational, sgml, workloads, wrappers, yatl
+from . import core, errors, html, library, obs, objectdb, relational, sgml, workloads, wrappers, yatl
 from .core import DataStore, Model, Pattern, Ref, Tree, atom, sym, tree
 from .errors import YatError
 from .system import YatSystem
@@ -34,6 +34,7 @@ __all__ = [
     "errors",
     "html",
     "library",
+    "obs",
     "objectdb",
     "relational",
     "sgml",

@@ -12,21 +12,39 @@ Usage::
     python -m repro check my_program.yatl
     python -m repro convert SgmlBrochuresToOdmg brochures.sgml
     python -m repro convert my.yatl brochures.sgml --to html -o site/
+    python -m repro convert O2Web data.sgml --profile profile.json
+    python -m repro stats SgmlBrochuresToOdmg brochures.sgml --format prometheus
     python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
 
 Programs are named library programs or ``.yatl`` files; input documents
-are SGML files (one or several documents per file).
+are SGML files (one or several documents per file). ``--profile``
+writes a Chrome-trace profile (load it in ``about:tracing`` or
+https://ui.perfetto.dev) with the run's metrics attached; ``stats``
+runs a conversion and prints its metrics instead of its output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .errors import YatError
 from .library.store import Library, standard_library
+from .obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    collecting,
+    metrics_to_json,
+    metrics_to_prometheus,
+    record,
+    recording,
+    span,
+    write_profile,
+)
 from .sgml.parser import parse_sgml_many
 from .wrappers.html import HtmlExportWrapper
 from .wrappers.sgml import SgmlImportWrapper
@@ -45,9 +63,14 @@ def _load_program(spec: str, library: Library) -> Program:
 
 def _read_inputs(paths: List[str], coerce_numbers: bool):
     documents = []
+    read_bytes = 0
     for path in paths:
         with open(path) as handle:
-            documents.extend(parse_sgml_many(handle.read()))
+            text = handle.read()
+        read_bytes += len(text.encode("utf-8"))
+        documents.extend(parse_sgml_many(text))
+    record("cli.input.files", len(paths))
+    record("cli.input.bytes", read_bytes)
     wrapper = SgmlImportWrapper(coerce_numbers=coerce_numbers)
     return wrapper.to_store(documents)
 
@@ -117,12 +140,65 @@ def _emit(result, out_dir: Optional[str], to: str) -> None:
 
 def cmd_convert(args, library: Library) -> int:
     program = _load_program(args.program, library)
-    store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
-    result = program.run(store, runtime_typing=args.runtime_typing)
-    _emit(result, args.output, args.to)
+    profiling = bool(getattr(args, "profile", None))
+    registry = MetricsRegistry()
+    recorder = SpanRecorder() if profiling else None
+    with collecting(registry), (
+        recording(recorder) if profiling else nullcontext()
+    ):
+        with span("pipeline", program=args.program, to=args.to):
+            store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+            result = program.run(store, runtime_typing=args.runtime_typing)
+            with span("export", to=args.to):
+                _emit(result, args.output, args.to)
+    if profiling:
+        write_profile(
+            args.profile,
+            registry,
+            recorder,
+            meta={
+                "program": args.program,
+                "inputs": list(args.inputs),
+                "to": args.to,
+            },
+        )
+        print(f"profile written to {args.profile}", file=sys.stderr)
     if result.unconverted:
         print(f"({len(result.unconverted)} input(s) matched by no rule)",
               file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args, library: Library) -> int:
+    """Run a conversion and report its metrics instead of its output."""
+    program = _load_program(args.program, library)
+    registry = MetricsRegistry()
+    with collecting(registry):
+        store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+        result = program.run(store, runtime_typing=args.runtime_typing)
+    if args.format == "json":
+        print(json.dumps(metrics_to_json(registry), indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(metrics_to_prometheus(registry), end="")
+    else:
+        print(f"program {program.name}: {len(result.store)} output tree(s), "
+              f"{len(result.unconverted)} unconverted, "
+              f"{len(result.warnings)} warning(s)")
+        for metric in sorted(registry, key=lambda m: m.name):
+            samples = sorted(metric.samples(), key=lambda s: sorted(s[0].items()))
+            for labels, value in samples:
+                suffix = ""
+                if labels:
+                    pairs = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                    suffix = "{" + pairs + "}"
+                if metric.kind == "histogram":
+                    stats = metric.stats(**labels)
+                    text = f"count={stats['count']:g} sum={stats['sum']:.6f}"
+                elif value == int(value):
+                    text = f"{int(value)}"
+                else:
+                    text = f"{value:g}"
+                print(f"  {metric.name}{suffix} = {text}")
     return 0
 
 
@@ -167,6 +243,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="raise on inputs matched by no rule (Section 3.5)")
     convert.add_argument("--no-coerce", action="store_true",
                          help="keep numeric-looking PCDATA as strings")
+    convert.add_argument("--profile", metavar="FILE",
+                         help="write a Chrome-trace profile (spans + metrics) "
+                              "of the run to FILE")
+
+    stats = sub.add_parser(
+        "stats", help="run a conversion and print its metrics"
+    )
+    stats.add_argument("program")
+    stats.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    stats.add_argument("--format", choices=["text", "json", "prometheus"],
+                       default="text")
+    stats.add_argument("--runtime-typing", action="store_true",
+                       help="raise on inputs matched by no rule (Section 3.5)")
+    stats.add_argument("--no-coerce", action="store_true",
+                       help="keep numeric-looking PCDATA as strings")
 
     pipeline = sub.add_parser(
         "pipeline", help="SGML brochures to HTML in one composed step"
@@ -187,6 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": cmd_show,
         "check": cmd_check,
         "convert": cmd_convert,
+        "stats": cmd_stats,
         "pipeline": cmd_pipeline,
     }
     try:

@@ -1,0 +1,66 @@
+"""Always-on runtime observability for the mediator pipeline.
+
+The paper's graphical environment let a mediator developer *watch* a
+conversion run. This package is the production equivalent: every run
+of the runtime environment accounts what it did (metrics), can narrate
+*when* it did it (spans), and exposes both in standard formats
+(exporters) — without a dedicated benchmark or a re-run.
+
+Three modules:
+
+* :mod:`.metrics` — a thread-safe :class:`MetricsRegistry` of counters,
+  gauges, and bucketed histograms, plus an *ambient* registry carried
+  by ``contextvars`` so wrappers and pipelines can publish without
+  threading a registry through every call signature;
+* :mod:`.spans` — hierarchical spans (pipeline → wrapper import → rule
+  application → match/call/predicate/construct phases → demand rounds
+  → export), recorded only while a :class:`SpanRecorder` is installed
+  and dumpable as Chrome trace-event JSON;
+* :mod:`.export` — JSON and Prometheus text exposition of a run's
+  metrics, and combined profile files for ``repro convert --profile``.
+
+Overhead discipline: metric *mutation* takes one lock; the truly hot
+paths (per-subject memo probes, dispatch admission checks) accumulate
+in plain ints and are flushed into the registry once per run; span
+entry with no recorder installed is a single ``ContextVar.get``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ambient_registry,
+    collecting,
+    record,
+    record_gauge,
+)
+from .spans import Span, SpanRecorder, recording, span, spans_active
+from .export import (
+    chrome_trace,
+    metrics_to_json,
+    metrics_to_prometheus,
+    profile_payload,
+    write_profile,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ambient_registry",
+    "collecting",
+    "record",
+    "record_gauge",
+    "Span",
+    "SpanRecorder",
+    "recording",
+    "span",
+    "spans_active",
+    "chrome_trace",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "profile_payload",
+    "write_profile",
+]

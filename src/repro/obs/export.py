@@ -1,0 +1,129 @@
+"""Exposition: metrics as JSON or Prometheus text, spans as Chrome
+trace-event JSON, and combined profile files.
+
+The profile written by ``repro convert --profile out.json`` is a valid
+Chrome trace (``traceEvents`` at the top level, loadable as-is in
+``chrome://tracing`` / Perfetto) whose extra top-level keys carry the
+run's metric snapshot and metadata — one file tells the whole story.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional
+
+from .metrics import Histogram, MetricsRegistry
+from .spans import SpanRecorder
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metrics_to_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry snapshot, ready for ``json.dumps``."""
+    return registry.snapshot()
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Metric names are sanitized (``yatl.rule.applications`` →
+    ``yatl_rule_applications``); histograms expose the conventional
+    ``_bucket``/``_sum``/``_count`` series.
+    """
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        name = _NAME_RE.sub("_", metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels in metric.label_keys():
+                stats = metric.stats(**labels)
+                for bound, count in stats["buckets"].items():  # type: ignore[union-attr]
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _bound_text(bound)
+                    lines.append(
+                        f"{name}_bucket{_label_text(bucket_labels)} {_num(count)}"
+                    )
+                lines.append(f"{name}_sum{_label_text(labels)} {_num(stats['sum'])}")
+                lines.append(f"{name}_count{_label_text(labels)} {_num(stats['count'])}")
+        else:
+            for labels, value in metric.samples():
+                lines.append(f"{name}{_label_text(labels)} {_num(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(recorder: SpanRecorder) -> Dict[str, object]:
+    """A Chrome trace-event document for the recorded spans."""
+    return {
+        "traceEvents": recorder.chrome_trace_events(),
+        "displayTimeUnit": "ms",
+    }
+
+
+def profile_payload(
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[SpanRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The combined profile document: trace events + metrics + metadata."""
+    payload: Dict[str, object] = {
+        "traceEvents": recorder.chrome_trace_events() if recorder else [],
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["otherData"] = dict(meta)
+    if registry is not None:
+        payload["metrics"] = metrics_to_json(registry)
+    return payload
+
+
+def write_profile(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[SpanRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write the combined profile JSON to *path*."""
+    with open(path, "w") as handle:
+        json.dump(profile_payload(registry, recorder, meta), handle, indent=1)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers
+# ---------------------------------------------------------------------------
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{_LABEL_RE.sub("_", key)}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _bound_text(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

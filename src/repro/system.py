@@ -22,6 +22,7 @@ from .core.patterns import Pattern
 from .core.trees import DataStore, Tree
 from .errors import YatError
 from .library.store import Library, standard_library
+from .obs import MetricsRegistry, collecting, span
 from .objectdb.schema import ObjectSchema
 from .objectdb.store import ObjectStore
 from .relational.database import Database
@@ -37,10 +38,22 @@ from .yatl.typing import Signature
 
 
 class YatSystem:
-    """A complete YAT environment."""
+    """A complete YAT environment.
 
-    def __init__(self, library: Optional[Library] = None) -> None:
+    ``metrics`` is the system-level :class:`~repro.obs.MetricsRegistry`
+    every run-time operation (imports, conversions, exports, store
+    merges) accounts into — one registry per system, aggregating
+    across pipeline runs. Pass a registry to share it wider, e.g.
+    with a metrics endpoint.
+    """
+
+    def __init__(
+        self,
+        library: Optional[Library] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.library = library if library is not None else standard_library()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Specification environment
@@ -95,7 +108,8 @@ class YatSystem:
     # ------------------------------------------------------------------
 
     def import_relational(self, database: Database) -> DataStore:
-        return RelationalImportWrapper().to_store(database)
+        with collecting(self.metrics):
+            return RelationalImportWrapper().to_store(database)
 
     def import_sgml(
         self,
@@ -107,19 +121,44 @@ class YatSystem:
         into numbers (needed by Rule 1's ``Year > 1975``); disable it
         when joining against string-typed relational columns (Rule 3's
         ``Num``/``broch_num``)."""
-        return SgmlImportWrapper(dtd=dtd, coerce_numbers=coerce_numbers).to_store(
-            documents
-        )
+        with collecting(self.metrics):
+            return SgmlImportWrapper(
+                dtd=dtd, coerce_numbers=coerce_numbers
+            ).to_store(documents)
 
     def import_odmg(self, store: ObjectStore) -> DataStore:
-        return OdmgImportWrapper().to_store(store)
+        with collecting(self.metrics):
+            return OdmgImportWrapper().to_store(store)
 
     def merge_stores(self, *stores: DataStore) -> DataStore:
+        """Union several source stores, renaming on name collisions.
+
+        A colliding name first tries ``name@index``; if a source
+        already contains that spelling (e.g. source 0 holds both ``x``
+        and ``x@1``), numeric ``~2``, ``~3``... suffixes are appended
+        until the name is free, so merging never silently drops a
+        tree. Renames are counted in ``system.merge.renames``.
+        """
         merged = DataStore()
+        renames = 0
         for index, store in enumerate(stores):
             for name, node in store:
-                unique = name if name not in merged else f"{name}@{index}"
+                unique = name
+                if unique in merged:
+                    unique = f"{name}@{index}"
+                    attempt = 2
+                    while unique in merged:
+                        unique = f"{name}@{index}~{attempt}"
+                        attempt += 1
+                    renames += 1
                 merged.add(unique, node)
+        self.metrics.counter(
+            "system.merge.stores", "merge_stores invocations"
+        ).inc()
+        if renames:
+            self.metrics.counter(
+                "system.merge.renames", "trees renamed to avoid collisions"
+            ).inc(renames)
         return merged
 
     def run(
@@ -128,17 +167,20 @@ class YatSystem:
         data: Union[DataStore, Sequence[Tree], Tree],
         runtime_typing: bool = False,
     ) -> ConversionResult:
-        return program.run(data, runtime_typing=runtime_typing)
+        with collecting(self.metrics):
+            return program.run(data, runtime_typing=runtime_typing)
 
     def export_odmg(
         self, result: ConversionResult, schema: ObjectSchema
     ) -> ObjectStore:
-        return OdmgExportWrapper(schema).from_store(result.store)
+        with collecting(self.metrics):
+            return OdmgExportWrapper(schema).from_store(result.store)
 
     def export_html(
         self, result: ConversionResult, functor: str = "HtmlPage"
     ) -> Dict[str, str]:
-        return HtmlExportWrapper().export_result(result, functor)
+        with collecting(self.metrics):
+            return HtmlExportWrapper().export_result(result, functor)
 
     # ------------------------------------------------------------------
     # Scenario pipelines (Figure 1)
@@ -154,22 +196,28 @@ class YatSystem:
     ) -> ObjectStore:
         """Sources → ODMG objects: the materialized variant of Figure 1
         arrow (1)."""
-        stores = []
-        if sgml_documents:
-            stores.append(self.import_sgml(sgml_documents, dtd))
-        if database is not None:
-            stores.append(self.import_relational(database))
-        if not stores:
-            raise YatError("translate_to_objects needs at least one source")
-        result = self.run(program, self.merge_stores(*stores))
-        return self.export_odmg(result, schema)
+        with collecting(self.metrics), span(
+            "pipeline", program=program.name, target="odmg"
+        ):
+            stores = []
+            if sgml_documents:
+                stores.append(self.import_sgml(sgml_documents, dtd))
+            if database is not None:
+                stores.append(self.import_relational(database))
+            if not stores:
+                raise YatError("translate_to_objects needs at least one source")
+            result = self.run(program, self.merge_stores(*stores))
+            return self.export_odmg(result, schema)
 
     def publish_to_html(
         self, program: Program, objects: ObjectStore
     ) -> Dict[str, str]:
         """ODMG objects → HTML pages: Figure 1 arrow (2)."""
-        result = self.run(program, self.import_odmg(objects))
-        return self.export_html(result)
+        with collecting(self.metrics), span(
+            "pipeline", program=program.name, target="html"
+        ):
+            result = self.run(program, self.import_odmg(objects))
+            return self.export_html(result)
 
     def __repr__(self) -> str:
         return f"YatSystem({self.library!r})"

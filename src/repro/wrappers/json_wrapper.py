@@ -22,6 +22,7 @@ from typing import Any, Dict, Sequence, Union
 from ..core.labels import Symbol, is_atom
 from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
+from ..obs import record, span
 from .base import ExportWrapper, ImportWrapper
 
 ARRAY = Symbol("array")
@@ -35,18 +36,24 @@ class JsonImportWrapper(ImportWrapper[str]):
         self.root_label = root_label
 
     def to_store(self, source: Union[str, Sequence[Any]]) -> DataStore:
+        text_bytes = 0
         if isinstance(source, str):
             # JSON text is always *one* document (a top-level array is a
             # single array-valued document); pass a Python list to
             # import several documents at once.
+            text_bytes = len(source.encode("utf-8"))
             values: Sequence[Any] = [json.loads(source)]
         elif isinstance(source, list):
             values = source
         else:
             values = [source]
         store = DataStore()
-        for index, value in enumerate(values, start=1):
-            store.add(f"j{index}", self.value_to_tree(value))
+        with span("wrapper.import", source="json", documents=len(values)):
+            for index, value in enumerate(values, start=1):
+                store.add(f"j{index}", self.value_to_tree(value))
+        record("wrapper.import.trees", len(store), source="json")
+        if text_bytes:
+            record("wrapper.import.bytes", text_bytes, source="json")
         return store
 
     def value_to_tree(self, value: Any) -> Tree:
@@ -77,11 +84,15 @@ class JsonExportWrapper(ExportWrapper[str]):
         self.indent = indent
 
     def from_store(self, store: DataStore) -> str:
-        values = [
-            self.tree_to_value(store.materialize(name)) for name in store.names()
-        ]
-        payload = values[0] if len(values) == 1 else values
-        return json.dumps(payload, indent=self.indent)
+        with span("wrapper.export", source="json", trees=len(store)):
+            values = [
+                self.tree_to_value(store.materialize(name)) for name in store.names()
+            ]
+            payload = values[0] if len(values) == 1 else values
+            text = json.dumps(payload, indent=self.indent)
+        record("wrapper.export.trees", len(store), source="json")
+        record("wrapper.export.bytes", len(text.encode("utf-8")), source="json")
+        return text
 
     def tree_to_value(self, node: Union[Tree, Ref]) -> Any:
         if isinstance(node, Ref):

@@ -21,6 +21,7 @@ from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
 from ..objectdb.schema import ObjectSchema
 from ..objectdb.store import ObjectInstance, ObjectStore, Oid
+from ..obs import record, span
 from ..objectdb.types import (
     AtomicType,
     CollectionType,
@@ -39,8 +40,10 @@ class OdmgImportWrapper(ImportWrapper[ObjectStore]):
 
     def to_store(self, source: ObjectStore) -> DataStore:
         store = DataStore()
-        for instance in source:
-            store.add(instance.oid.value, self.object_to_tree(source, instance))
+        with span("wrapper.import", source="odmg"):
+            for instance in source:
+                store.add(instance.oid.value, self.object_to_tree(source, instance))
+        record("wrapper.import.trees", len(store), source="odmg")
         return store
 
     def object_to_tree(self, source: ObjectStore, instance: ObjectInstance) -> Tree:
@@ -87,13 +90,19 @@ class OdmgExportWrapper(ExportWrapper[ObjectStore]):
 
     def from_store(self, store: DataStore) -> ObjectStore:
         objects = ObjectStore(self.schema)
-        for name, node in store:
-            class_name = _class_name_of(node)
-            if class_name is None or class_name not in self.schema:
-                continue  # not an object tree of this schema (e.g. helper data)
-            values = self._decode_object(node, class_name)
-            objects.create(class_name, values, oid=Oid(name), defer_ref_check=True)
-        objects.check_references()
+        exported = 0
+        with span("wrapper.export", source="odmg", trees=len(store)):
+            for name, node in store:
+                class_name = _class_name_of(node)
+                if class_name is None or class_name not in self.schema:
+                    continue  # not an object tree of this schema (e.g. helper data)
+                values = self._decode_object(node, class_name)
+                objects.create(
+                    class_name, values, oid=Oid(name), defer_ref_check=True
+                )
+                exported += 1
+            objects.check_references()
+        record("wrapper.export.objects", exported, source="odmg")
         return objects
 
     def _decode_object(self, node: Tree, class_name: str) -> Dict[str, object]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..core.labels import Symbol, is_atom
 from ..core.trees import DataStore, Tree
 from ..errors import WrapperError
+from ..obs import record, span
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema
 from ..relational.table import Table
@@ -29,8 +30,14 @@ class RelationalImportWrapper(ImportWrapper[Database]):
 
     def to_store(self, source: Database) -> DataStore:
         store = DataStore()
-        for name, table in source:
-            store.add(name, table_to_tree(table))
+        rows = 0
+        with span("wrapper.import", source="relational"):
+            for name, table in source:
+                tree = table_to_tree(table)
+                rows += len(tree.children)
+                store.add(name, tree)
+        record("wrapper.import.trees", len(store), source="relational")
+        record("wrapper.import.rows", rows, source="relational")
         return store
 
 
@@ -56,15 +63,22 @@ class RelationalExportWrapper(ExportWrapper[Database]):
 
     def from_store(self, store: DataStore) -> Database:
         database = Database(self.schema)
-        for _, node in store:
-            if not isinstance(node.label, Symbol):
-                raise WrapperError(f"table tree label must be a symbol: {node.label!r}")
-            table_name = node.label.name
-            if table_name not in self.schema:
-                raise WrapperError(f"schema has no table {table_name!r}")
-            table = database.table(table_name)
-            for row_node in node.children:
-                table.insert_dict(_row_values(row_node, table_name))
+        rows = 0
+        with span("wrapper.export", source="relational", trees=len(store)):
+            for _, node in store:
+                if not isinstance(node.label, Symbol):
+                    raise WrapperError(
+                        f"table tree label must be a symbol: {node.label!r}"
+                    )
+                table_name = node.label.name
+                if table_name not in self.schema:
+                    raise WrapperError(f"schema has no table {table_name!r}")
+                table = database.table(table_name)
+                for row_node in node.children:
+                    table.insert_dict(_row_values(row_node, table_name))
+                    rows += 1
+        record("wrapper.export.trees", len(store), source="relational")
+        record("wrapper.export.rows", rows, source="relational")
         return database
 
 

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Union
 from ..core.labels import Symbol
 from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
+from ..obs import record, span
 from ..sgml.document import Element
 from ..sgml.dtd import DTD
 from ..sgml.validator import validate
@@ -41,10 +42,12 @@ class SgmlImportWrapper(ImportWrapper[Sequence[Element]]):
         if isinstance(source, Element):
             source = [source]
         store = DataStore()
-        for index, document in enumerate(source, start=1):
-            if self.dtd is not None:
-                validate(document, self.dtd)
-            store.add(f"d{index}", self.element_to_tree(document))
+        with span("wrapper.import", source="sgml", documents=len(source)):
+            for index, document in enumerate(source, start=1):
+                if self.dtd is not None:
+                    validate(document, self.dtd)
+                store.add(f"d{index}", self.element_to_tree(document))
+        record("wrapper.import.trees", len(store), source="sgml")
         return store
 
     def element_to_tree(self, element: Element) -> Tree:
@@ -69,11 +72,13 @@ class SgmlExportWrapper(ExportWrapper[List[Element]]):
 
     def from_store(self, store: DataStore) -> List[Element]:
         documents = []
-        for name, _ in store:
-            element = self.tree_to_element(store.materialize(name))
-            if self.dtd is not None:
-                validate(element, self.dtd)
-            documents.append(element)
+        with span("wrapper.export", source="sgml", trees=len(store)):
+            for name, _ in store:
+                element = self.tree_to_element(store.materialize(name))
+                if self.dtd is not None:
+                    validate(element, self.dtd)
+                documents.append(element)
+        record("wrapper.export.trees", len(documents), source="sgml")
         return documents
 
     def tree_to_element(self, node: Tree) -> Element:

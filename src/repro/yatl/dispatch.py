@@ -57,6 +57,57 @@ WILDCARD = None
 _BUCKETS = ("__buckets__",)
 
 
+class DispatchStats:
+    """Per-run dispatch accounting, kept as plain ints.
+
+    Admission checks run once per (rule, subject) pair — hundreds of
+    thousands of times on realistic stores — so the index mutates bare
+    attributes here and the interpreter flushes them into the run's
+    :class:`~repro.obs.MetricsRegistry` once, at the end.
+
+    ``subjects_considered``/``subjects_admitted`` count the candidate
+    filtering of *indexed* rules (a cache hit counts the subjects it
+    would have scanned, so the reduction ratio reflects pruned work,
+    not cache topology); ``admit_checks``/``admit_rejections`` count
+    the demand loop's single-subject admission tests.
+    """
+
+    __slots__ = (
+        "indexed_calls",
+        "unindexed_calls",
+        "subjects_considered",
+        "subjects_admitted",
+        "admit_checks",
+        "admit_rejections",
+    )
+
+    def __init__(self) -> None:
+        self.indexed_calls = 0
+        self.unindexed_calls = 0
+        self.subjects_considered = 0
+        self.subjects_admitted = 0
+        self.admit_checks = 0
+        self.admit_rejections = 0
+
+    def hit_ratio(self) -> float:
+        """Fraction of candidate requests served by an indexed rule."""
+        calls = self.indexed_calls + self.unindexed_calls
+        return self.indexed_calls / calls if calls else 0.0
+
+    def reduction_ratio(self) -> float:
+        """Fraction of (rule, subject) match attempts the index pruned."""
+        if not self.subjects_considered:
+            return 0.0
+        return 1.0 - self.subjects_admitted / self.subjects_considered
+
+    def __repr__(self) -> str:
+        return (
+            f"DispatchStats(hit={self.hit_ratio():.2f}, "
+            f"reduction={self.reduction_ratio():.2f}, "
+            f"{self.admit_rejections}/{self.admit_checks} demand rejections)"
+        )
+
+
 class RootSignature:
     """What the root of a single-root body pattern can possibly match.
 
@@ -180,34 +231,56 @@ class RuleDispatchIndex:
     def signature(self, rule: Rule) -> Optional[RootSignature]:
         return self._signatures.get(rule.name)
 
-    def admits(self, rule: Rule, subject: Subject) -> bool:
+    def admits(
+        self,
+        rule: Rule,
+        subject: Subject,
+        stats: Optional[DispatchStats] = None,
+    ) -> bool:
         signature = self._signatures.get(rule.name)
-        return signature is None or signature.admits(subject)
+        if signature is None:
+            return True
+        if stats is None:
+            return signature.admits(subject)
+        stats.admit_checks += 1
+        admitted = signature.admits(subject)
+        if not admitted:
+            stats.admit_rejections += 1
+        return admitted
 
     def candidates(
         self,
         rule: Rule,
         subjects: Sequence[Subject],
         cache: Optional[Dict[Tuple, List[Subject]]] = None,
+        stats: Optional[DispatchStats] = None,
     ) -> Sequence[Subject]:
         """Filter *subjects* down to those the rule could match.
 
         ``cache`` should be scoped to one run and one ``subjects``
         sequence (the caller must not reuse it across different subject
         lists): rules with equivalent signatures then share the filter
-        work.
+        work. ``stats`` accounts the filtering (see
+        :class:`DispatchStats`).
         """
         signature = self._signatures.get(rule.name)
         if signature is None:
+            if stats is not None:
+                stats.unindexed_calls += 1
             return subjects
         if cache is None:
-            return [s for s in subjects if signature.admits(s)]
-        key = signature.key()
-        cached = cache.get(key)
-        if cached is None:
-            cached = self._filter(signature, subjects, cache)
-            cache[key] = cached
-        return cached
+            result = [s for s in subjects if signature.admits(s)]
+        else:
+            key = signature.key()
+            result = cache.get(key)
+            if result is None:
+                result = self._filter(signature, subjects, cache)
+                cache[key] = result
+        if stats is not None:
+            stats.indexed_calls += 1
+            stats.subjects_considered += len(subjects)
+            stats.subjects_admitted += len(result)
+        return result
 
     @staticmethod
     def _filter(

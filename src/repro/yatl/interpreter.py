@@ -18,6 +18,7 @@ converted by no rule raise, or feed empty-head fallback rules).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.trees import DataStore, Ref, Tree
@@ -27,6 +28,8 @@ from ..errors import (
     FunctionError,
     UnconvertedDataError,
 )
+from ..obs import MetricsRegistry, ambient_registry, span
+from ..obs.metrics import TIME_BUCKETS
 from .ast import Expr, FunctionCall, Rule
 from .bindings import Binding, Value
 from .construction import (
@@ -35,11 +38,44 @@ from .construction import (
     deref_target,
     is_deref_placeholder,
 )
+from .dispatch import DispatchStats
 from .functions import FunctionRegistry, evaluate_comparison, standard_registry
 from .hierarchy import Hierarchy
 from .matching import MatchContext, match_body
 from .skolem import SkolemTable
 from ..core.variables import PatternVar, Var
+
+# Metric names (the catalog lives in docs/OBSERVABILITY.md). Per-rule
+# metrics carry a ``rule`` label; everything else is unlabelled.
+M_RULE_APPLICATIONS = "yatl.rule.applications"
+M_RULE_MATCHED = "yatl.rule.bindings_matched"
+M_RULE_AFTER_CALLS = "yatl.rule.bindings_after_calls"
+M_RULE_AFTER_PREDICATES = "yatl.rule.bindings_after_predicates"
+M_RULE_OUTPUTS = "yatl.rule.outputs"
+M_RULE_SECONDS = "yatl.rule.seconds"
+M_CONSTRUCT_GROUPS = "yatl.construct.groups"
+M_CONSTRUCT_SKIPPED = "yatl.construct.skipped_unbound"
+M_DEMAND_ITERATIONS = "yatl.demand.iterations"
+M_DEMAND_ROUNDS = "yatl.demand.rounds"
+M_INPUT_TREES = "yatl.inputs.total"
+M_INPUT_CONVERTED = "yatl.inputs.converted"
+M_INPUT_UNCONVERTED = "yatl.inputs.unconverted"
+M_OUTPUT_TREES = "yatl.outputs.trees"
+M_WARNINGS = "yatl.warnings"
+M_BATCHES = "yatl.batches"
+M_DISPATCH_INDEXED = "yatl.dispatch.indexed_calls"
+M_DISPATCH_UNINDEXED = "yatl.dispatch.unindexed_calls"
+M_DISPATCH_CONSIDERED = "yatl.dispatch.subjects_considered"
+M_DISPATCH_ADMITTED = "yatl.dispatch.subjects_admitted"
+M_DISPATCH_ADMIT_CHECKS = "yatl.dispatch.admit_checks"
+M_DISPATCH_ADMIT_REJECTIONS = "yatl.dispatch.admit_rejections"
+M_DISPATCH_HIT_RATIO = "yatl.dispatch.hit_ratio"
+M_DISPATCH_REDUCTION = "yatl.dispatch.candidate_reduction_ratio"
+M_SKOLEM_FRESH = "yatl.skolem.ids_fresh"
+M_SKOLEM_REUSED = "yatl.skolem.ids_reused"
+M_SKOLEM_SIZE = "yatl.skolem.table_size"
+M_MATCH_ROOT_MEMO_HITS = "yatl.match.root_memo_hits"
+M_MATCH_COVERAGE_MEMO_HITS = "yatl.match.coverage_memo_hits"
 
 
 class ConversionResult:
@@ -51,7 +87,10 @@ class ConversionResult:
     (empty-head) rules count as matching, so an input a fallback handled
     is *not* reported unconverted; ``warnings`` collects non-fatal
     anomalies (filtered function errors, dangling references in
-    non-strict mode...).
+    non-strict mode...); ``metrics`` is the run's
+    :class:`~repro.obs.MetricsRegistry` — per-rule phase counters,
+    dispatch-index hit and candidate-reduction ratios, Skolem table
+    stats (see docs/OBSERVABILITY.md for the catalog).
     """
 
     def __init__(
@@ -61,6 +100,7 @@ class ConversionResult:
         unconverted: List[Tree],
         warnings: List[str],
         provenance: Optional[Dict[str, Set[str]]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.skolems = skolems
@@ -68,6 +108,10 @@ class ConversionResult:
         self.warnings = warnings
         #: output identifier -> names of the input trees it derives from
         self.provenance: Dict[str, Set[str]] = provenance or {}
+        #: runtime accounting for this run
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
 
     def ids_of(self, functor: str) -> List[str]:
         """Identifiers generated for a Skolem functor, in creation order."""
@@ -132,6 +176,13 @@ class Interpreter:
         input tree and Skolem identity is global), so results are
         equivalent to a single pass — but identifiers are numbered in
         batch-completion order rather than rule-major order.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to account the run(s)
+        into. When omitted, each run uses the ambient registry
+        installed by :func:`repro.obs.collecting` if there is one
+        (pipelines and the CLI aggregate that way), or a fresh
+        registry otherwise; either way the registry is surfaced on
+        ``ConversionResult.metrics``.
     """
 
     def __init__(
@@ -146,6 +197,7 @@ class Interpreter:
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
         parallel_safe_batches: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.rules = list(rules)
         self.registry = registry or standard_registry()
@@ -154,6 +206,7 @@ class Interpreter:
         self.runtime_typing = runtime_typing
         self.strict_refs = strict_refs
         self.max_demand_iterations = max_demand_iterations
+        self.metrics = metrics
         self.dispatch = self.hierarchy.dispatch_index() if use_dispatch_index else None
         if parallel_safe_batches is not None and parallel_safe_batches < 1:
             raise ValueError("parallel_safe_batches must be >= 1")
@@ -195,11 +248,15 @@ class Interpreter:
     def run(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
         store = _as_store(data)
         state = _RunState(self, store)
-        for batch in self._batches(state.inputs):
-            state.apply_top_level(batch)
-        state.apply_fallbacks()
-        state.demand_loop()
-        return state.finish()
+        with span("yatl.run", rules=len(self.rules), inputs=len(state.inputs)):
+            batches = self._batches(state.inputs)
+            state.metrics.counter(M_BATCHES).inc(len(batches))
+            for index, batch in enumerate(batches):
+                with span("yatl.batch", index=index, inputs=len(batch)):
+                    state.apply_top_level(batch)
+            state.apply_fallbacks()
+            state.demand_loop()
+            return state.finish()
 
     def _batches(self, inputs: List[Tree]) -> List[List[Tree]]:
         """Contiguous input partitions for batched evaluation (one list
@@ -229,12 +286,36 @@ class Interpreter:
         input_trees: Sequence[Tree],
         mctx: MatchContext,
         warnings: List[str],
+        metrics: Optional[MetricsRegistry] = None,
     ) -> List[Binding]:
-        bindings = match_body(rule, input_trees, mctx)  # phase 1
-        if not bindings:
-            return []
-        bindings = self._evaluate_calls(rule, bindings, warnings)  # phase 2
-        return self._apply_predicates(rule, bindings)  # phase 3
+        with span("yatl.rule", rule=rule.name, candidates=len(input_trees)):
+            started = time.perf_counter() if metrics is not None else 0.0
+            with span("yatl.phase.match", rule=rule.name):
+                bindings = match_body(rule, input_trees, mctx)  # phase 1
+            if metrics is not None:
+                metrics.counter(M_RULE_APPLICATIONS).inc(rule=rule.name)
+                metrics.counter(M_RULE_MATCHED).inc(len(bindings), rule=rule.name)
+            if not bindings:
+                if metrics is not None:
+                    metrics.histogram(M_RULE_SECONDS, buckets=TIME_BUCKETS).observe(
+                        time.perf_counter() - started, rule=rule.name
+                    )
+                return []
+            with span("yatl.phase.call", rule=rule.name):
+                bindings = self._evaluate_calls(rule, bindings, warnings)  # phase 2
+            with span("yatl.phase.predicate", rule=rule.name):
+                kept = self._apply_predicates(rule, bindings)  # phase 3
+            if metrics is not None:
+                metrics.counter(M_RULE_AFTER_CALLS).inc(
+                    len(bindings), rule=rule.name
+                )
+                metrics.counter(M_RULE_AFTER_PREDICATES).inc(
+                    len(kept), rule=rule.name
+                )
+                metrics.histogram(M_RULE_SECONDS, buckets=TIME_BUCKETS).observe(
+                    time.perf_counter() - started, rule=rule.name
+                )
+            return kept
 
     def _evaluate_calls(
         self, rule: Rule, bindings: List[Binding], warnings: List[str]
@@ -298,6 +379,18 @@ class _RunState:
         self.inputs = store.trees()
         self.skolems = SkolemTable()
         self.warnings: List[str] = []
+        # One registry per run unless the interpreter (or an ambient
+        # `collecting` block) supplies a shared one. None checks, not
+        # truthiness: an empty registry is falsy but still the sink.
+        metrics = interpreter.metrics
+        if metrics is None:
+            metrics = ambient_registry()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics: MetricsRegistry = metrics
+        # Dispatch accounting: plain ints on the hot path, flushed into
+        # the registry once, in finish().
+        self.dispatch_stats = DispatchStats()
         self.match_ctx = MatchContext(store=store, model=interpreter.model)
         self.constructor = Constructor(self.skolems, self._on_skolem)
         # Demand-driven evaluation bookkeeping.
@@ -375,7 +468,7 @@ class _RunState:
             if not candidates:
                 continue
             bindings = self.interp.rule_bindings(
-                rule, candidates, self.match_ctx, self.warnings
+                rule, candidates, self.match_ctx, self.warnings, self.metrics
             )
             # A fallback match *handles* the input (the paper's Rule
             # Exception): account it as converted.
@@ -410,7 +503,7 @@ class _RunState:
         if entry is None or entry[0] is not inputs:
             entry = (inputs, {})
             self._candidate_caches[id(inputs)] = entry
-        return dispatch.candidates(rule, inputs, entry[1])
+        return dispatch.candidates(rule, inputs, entry[1], self.dispatch_stats)
 
     def _apply_rule_with_shadowing(self, rule: Rule, inputs: List[Tree]) -> None:
         roots = rule.root_body_patterns()
@@ -419,7 +512,7 @@ class _RunState:
         if not candidates:
             return
         bindings = self.interp.rule_bindings(
-            rule, candidates, self.match_ctx, self.warnings
+            rule, candidates, self.match_ctx, self.warnings, self.metrics
         )
         if not bindings:
             return
@@ -469,28 +562,38 @@ class _RunState:
                 order.append(identifier)
             groups[identifier].append(binding)
         root_names = [bp.name.name for bp in rule.root_body_patterns()]
-        for identifier in order:
-            group = groups[identifier]
-            origins = self._origins_of(group, root_names)
-            self.provenance.setdefault(identifier, set()).update(origins)
-            previous_origins = self._active_origins
-            self._active_origins = self.provenance[identifier]
-            try:
-                value = self.constructor.construct(head.tree, group)
-            except Unbound as unbound:
-                self.warnings.append(
-                    f"rule {rule.name!r}: output {identifier} skipped "
-                    f"(unbound {unbound.name})"
-                )
-                continue
-            finally:
-                self._active_origins = previous_origins
-            if isinstance(value, Ref):
-                self.root_refs[identifier] = value
-            else:
-                self.skolems.associate(identifier, value)
-            self.pending_ref.discard(identifier)
-            self.pending_deref.discard(identifier)
+        metrics = self.metrics
+        metrics.counter(M_CONSTRUCT_GROUPS).inc(len(order), rule=rule.name)
+        built = skipped = 0
+        with span("yatl.phase.construct", rule=rule.name, groups=len(order)):
+            for identifier in order:
+                group = groups[identifier]
+                origins = self._origins_of(group, root_names)
+                self.provenance.setdefault(identifier, set()).update(origins)
+                previous_origins = self._active_origins
+                self._active_origins = self.provenance[identifier]
+                try:
+                    value = self.constructor.construct(head.tree, group)
+                except Unbound as unbound:
+                    self.warnings.append(
+                        f"rule {rule.name!r}: output {identifier} skipped "
+                        f"(unbound {unbound.name})"
+                    )
+                    skipped += 1
+                    continue
+                finally:
+                    self._active_origins = previous_origins
+                if isinstance(value, Ref):
+                    self.root_refs[identifier] = value
+                else:
+                    self.skolems.associate(identifier, value)
+                built += 1
+                self.pending_ref.discard(identifier)
+                self.pending_deref.discard(identifier)
+        if built:
+            metrics.counter(M_RULE_OUTPUTS).inc(built, rule=rule.name)
+        if skipped:
+            metrics.counter(M_CONSTRUCT_SKIPPED).inc(skipped, rule=rule.name)
 
     def _origins_of(self, group: List[Binding], root_names: List[str]) -> Set[str]:
         """Input-tree names contributing to one Skolem group: top-level
@@ -515,6 +618,7 @@ class _RunState:
             if rule.head is not None:
                 by_functor.setdefault(rule.head.term.functor, []).append(rule)
         iterations = 0
+        rounds = 0
         while True:
             pending = [
                 i
@@ -523,19 +627,24 @@ class _RunState:
             ]
             if not pending:
                 break
+            rounds += 1
             progressed = False
-            for identifier in pending:
-                iterations += 1
-                if iterations > self.interp.max_demand_iterations:
-                    raise CyclicProgramError(
-                        "demand-driven evaluation did not converge "
-                        f"(> {self.interp.max_demand_iterations} steps): "
-                        "the program is likely cyclic"
-                    )
-                if self._demand(identifier, by_functor):
-                    progressed = True
+            with span("yatl.demand.round", round=rounds, pending=len(pending)):
+                for identifier in pending:
+                    iterations += 1
+                    if iterations > self.interp.max_demand_iterations:
+                        raise CyclicProgramError(
+                            "demand-driven evaluation did not converge "
+                            f"(> {self.interp.max_demand_iterations} steps): "
+                            "the program is likely cyclic"
+                        )
+                    if self._demand(identifier, by_functor):
+                        progressed = True
             if not progressed:
                 break
+        if iterations:
+            self.metrics.counter(M_DEMAND_ITERATIONS).inc(iterations)
+            self.metrics.counter(M_DEMAND_ROUNDS).inc(rounds)
 
     def _demand(self, identifier: str, by_functor: Dict[str, List[Rule]]) -> bool:
         functor, args = self.skolems.key_of(identifier)
@@ -564,12 +673,14 @@ class _RunState:
                 continue
             if self.interp.hierarchy.shadowed(rule, matched):
                 continue
-            if dispatch is not None and not dispatch.admits(rule, subject):
+            if dispatch is not None and not dispatch.admits(
+                rule, subject, self.dispatch_stats
+            ):
                 self.applied.add(key)  # can never match: remember the rejection
                 continue
             self.applied.add(key)
             bindings = self.interp.rule_bindings(
-                rule, [subject], self.match_ctx, self.warnings
+                rule, [subject], self.match_ctx, self.warnings, self.metrics
             )
             if not bindings:
                 continue
@@ -619,13 +730,14 @@ class _RunState:
             return node.map_refs(replace)
 
         output = DataStore()
-        for identifier in self.skolems.ids():
-            if not self.skolems.has_value(identifier) and identifier not in self.root_refs:
-                continue
-            try:
-                output.add(identifier, value_of(identifier, False))
-            except DanglingReferenceError:
-                raise
+        with span("yatl.splice"):
+            for identifier in self.skolems.ids():
+                if not self.skolems.has_value(identifier) and identifier not in self.root_refs:
+                    continue
+                try:
+                    output.add(identifier, value_of(identifier, False))
+                except DanglingReferenceError:
+                    raise
         # Dangling plain references.
         dangling = sorted(set(output.dangling_references()))
         if dangling:
@@ -639,9 +751,43 @@ class _RunState:
             for identifier, origins in self.provenance.items()
             if identifier in output
         }
+        self._flush_metrics(output, unconverted)
         return ConversionResult(
-            output, self.skolems, unconverted, self.warnings, provenance
+            output, self.skolems, unconverted, self.warnings, provenance,
+            metrics=self.metrics,
         )
+
+    def _flush_metrics(self, output: DataStore, unconverted: List[Tree]) -> None:
+        """Flush the hot-path accumulators (dispatch stats, memo hit
+        counts, Skolem stats) into the registry, once per run."""
+        m = self.metrics
+        m.counter(M_INPUT_TREES).inc(len(self.inputs))
+        m.counter(M_INPUT_CONVERTED).inc(len(self.inputs) - len(unconverted))
+        m.counter(M_INPUT_UNCONVERTED).inc(len(unconverted))
+        m.counter(M_OUTPUT_TREES).inc(len(output))
+        m.counter(M_WARNINGS).inc(len(self.warnings))
+        ds = self.dispatch_stats
+        m.counter(M_DISPATCH_INDEXED).inc(ds.indexed_calls)
+        m.counter(M_DISPATCH_UNINDEXED).inc(ds.unindexed_calls)
+        m.counter(M_DISPATCH_CONSIDERED).inc(ds.subjects_considered)
+        m.counter(M_DISPATCH_ADMITTED).inc(ds.subjects_admitted)
+        m.counter(M_DISPATCH_ADMIT_CHECKS).inc(ds.admit_checks)
+        m.counter(M_DISPATCH_ADMIT_REJECTIONS).inc(ds.admit_rejections)
+        # Ratios are whole-registry gauges: recomputed from the counter
+        # totals so shared registries aggregate correctly across runs.
+        calls = m.value(M_DISPATCH_INDEXED) + m.value(M_DISPATCH_UNINDEXED)
+        if calls:
+            m.gauge(M_DISPATCH_HIT_RATIO).set(m.value(M_DISPATCH_INDEXED) / calls)
+        considered = m.value(M_DISPATCH_CONSIDERED)
+        if considered:
+            m.gauge(M_DISPATCH_REDUCTION).set(
+                1.0 - m.value(M_DISPATCH_ADMITTED) / considered
+            )
+        m.counter(M_SKOLEM_FRESH).inc(self.skolems.fresh_ids)
+        m.counter(M_SKOLEM_REUSED).inc(self.skolems.reused_ids)
+        m.gauge(M_SKOLEM_SIZE).set(len(self.skolems))
+        m.counter(M_MATCH_ROOT_MEMO_HITS).inc(self.match_ctx.root_memo_hits)
+        m.counter(M_MATCH_COVERAGE_MEMO_HITS).inc(self.match_ctx.coverage_memo_hits)
 
 
 # ---------------------------------------------------------------------------

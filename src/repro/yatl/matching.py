@@ -59,9 +59,18 @@ class MatchContext:
         # for this context — so a rejected subject is never re-matched,
         # neither by the demand loop nor for structurally-equal trees.
         self._root_failures: set = set()
+        # Memo-effectiveness accounting. Plain ints: these probes run
+        # per (pattern, subject) pair — the hottest loop in the whole
+        # runtime — so the interpreter flushes them into the run's
+        # MetricsRegistry once, at the end.
+        self.root_memo_hits = 0
+        self.coverage_memo_hits = 0
 
     def known_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> bool:
-        return (id(pattern), subject) in self._root_failures
+        if (id(pattern), subject) in self._root_failures:
+            self.root_memo_hits += 1
+            return True
+        return False
 
     def record_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> None:
         self._root_failures.add((id(pattern), subject))
@@ -170,6 +179,8 @@ def _covers(target, child, ctx: MatchContext) -> bool:
     if cached is None:
         cached = bool(match_child(target, child, Binding.EMPTY, ctx))
         ctx._coverage[key] = cached
+    else:
+        ctx.coverage_memo_hits += 1
     return cached
 
 

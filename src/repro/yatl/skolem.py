@@ -30,6 +30,14 @@ class SkolemTable:
         self._counters: Dict[str, int] = {}
         self._prefixes: Dict[str, str] = {}  # functor -> id prefix
         self._used_prefixes: Dict[str, str] = {}  # prefix -> functor
+        # Observability accounting (plain ints: id_for is on the hot
+        # path of every constructed output; the interpreter flushes
+        # them into the run's MetricsRegistry once, at the end).
+        #: identifiers allocated for a first-seen (functor, args) term
+        self.fresh_ids = 0
+        #: lookups resolved to an already-allocated identifier — the
+        #: paper's "one supplier object per name across brochures"
+        self.reused_ids = 0
 
     # -- identifiers --------------------------------------------------------
 
@@ -42,12 +50,14 @@ class SkolemTable:
         key = (functor, tuple(args))
         existing = self._ids.get(key)
         if existing is not None:
+            self.reused_ids += 1
             return existing
         prefix = self._prefix_for(functor)
         self._counters[prefix] = self._counters.get(prefix, 0) + 1
         new_id = f"{prefix}{self._counters[prefix]}"
         self._ids[key] = new_id
         self._keys[new_id] = key
+        self.fresh_ids += 1
         return new_id
 
     def lookup(self, functor: str, args: Tuple[SkolemValue, ...]) -> Optional[str]:
@@ -109,6 +119,15 @@ class SkolemTable:
 
     def values(self) -> Dict[str, Tree]:
         return dict(self._values)
+
+    def stats(self) -> Dict[str, int]:
+        """Table accounting: ids allocated/reused, values associated."""
+        return {
+            "fresh_ids": self.fresh_ids,
+            "reused_ids": self.reused_ids,
+            "table_size": len(self._keys),
+            "values_associated": len(self._values),
+        }
 
     def __len__(self) -> int:
         return len(self._keys)

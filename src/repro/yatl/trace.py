@@ -2,10 +2,13 @@
 
 A mediator developer debugging a conversion needs to know which rules
 fired on which inputs, how many bindings each phase kept, and where
-every output came from. :func:`explain` runs a program with
-instrumentation and returns a :class:`Trace` whose ``report()`` prints
-a per-rule, per-phase account — the textual equivalent of watching the
-paper's graphical environment run.
+every output came from. :func:`explain` runs a program **once** and
+builds a :class:`Trace` from the interpreter's always-on metrics
+(:mod:`repro.obs`) — the same counters a production run exposes on
+``ConversionResult.metrics`` — so the explain report and live metrics
+can never drift, and explaining no longer re-evaluates bodies, calls,
+or predicates. ``report()`` prints a per-rule, per-phase account — the
+textual equivalent of watching the paper's graphical environment run.
 """
 
 from __future__ import annotations
@@ -13,10 +16,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.trees import DataStore, Tree
-from .ast import Rule
-from .bindings import Binding
-from .interpreter import ConversionResult, Interpreter
-from .matching import MatchContext, match_body
+from ..obs import MetricsRegistry
+from .interpreter import (
+    ConversionResult,
+    Interpreter,
+    M_RULE_AFTER_CALLS,
+    M_RULE_AFTER_PREDICATES,
+    M_RULE_APPLICATIONS,
+    M_RULE_MATCHED,
+)
 from .program import Program
 
 
@@ -47,11 +55,20 @@ class RuleTrace:
 
 
 class Trace:
-    """The full account of one conversion run."""
+    """The full account of one conversion run.
 
-    def __init__(self) -> None:
+    ``metrics`` is the run's :class:`~repro.obs.MetricsRegistry` — the
+    per-rule numbers below are a view over it, and everything else the
+    run accounted (dispatch ratios, Skolem stats, memo hits) is read
+    from there directly.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.rules: Dict[str, RuleTrace] = {}
         self.result: Optional[ConversionResult] = None
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
 
     def rule(self, name: str) -> RuleTrace:
         if name not in self.rules:
@@ -97,51 +114,37 @@ class Trace:
         return f"Trace({len(self.rules)} rule(s))"
 
 
-class _TracingInterpreter(Interpreter):
-    """An interpreter that records per-rule phase statistics."""
-
-    def __init__(self, trace: Trace, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._trace = trace
-
-    def rule_bindings(
-        self,
-        rule: Rule,
-        input_trees: Sequence[Tree],
-        mctx: MatchContext,
-        warnings: List[str],
-    ) -> List[Binding]:
-        record = self._trace.rule(rule.name)
-        record.applications += 1
-        matched = match_body(rule, input_trees, mctx)
-        record.matched += len(matched)
-        if not matched:
-            return []
-        after_calls = self._evaluate_calls(rule, matched, warnings)
-        record.after_calls += len(after_calls)
-        kept = self._apply_predicates(rule, after_calls)
-        record.after_predicates += len(kept)
-        return kept
-
-
 def explain(
     program: Program,
     data: Union[DataStore, Sequence[Tree], Tree],
     **run_options,
 ) -> Trace:
-    """Run *program* over *data* with tracing; see :class:`Trace`."""
+    """Run *program* over *data* once and explain it; see :class:`Trace`."""
     program.validate()
-    trace = Trace()
-    interpreter = _TracingInterpreter(
-        trace,
+    metrics = MetricsRegistry()
+    interpreter = Interpreter(
         program.rules,
         registry=program.registry,
         model=program._context_model(),
         hierarchy=program.hierarchy(),
+        metrics=metrics,
         **run_options,
     )
     result = interpreter.run(data)
+    trace = Trace(metrics)
     trace.result = result
+    # Per-rule phase statistics, straight from the instrumented run.
+    for rule in program.rules:
+        applications = metrics.value(M_RULE_APPLICATIONS, rule=rule.name)
+        if not applications:
+            continue
+        record = trace.rule(rule.name)
+        record.applications = int(applications)
+        record.matched = int(metrics.value(M_RULE_MATCHED, rule=rule.name))
+        record.after_calls = int(metrics.value(M_RULE_AFTER_CALLS, rule=rule.name))
+        record.after_predicates = int(
+            metrics.value(M_RULE_AFTER_PREDICATES, rule=rule.name)
+        )
     # attribute outputs to the rules that own their functors
     by_functor: Dict[str, List[str]] = {}
     for rule in program.rules:

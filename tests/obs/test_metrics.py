@@ -1,0 +1,162 @@
+"""The metrics registry: counters, gauges, histograms, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ambient_registry,
+    collecting,
+    record,
+    record_gauge,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c").value() == 0
+        assert registry.value("never_registered") == 0
+
+    def test_increments(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(rule="Rule1")
+        counter.inc(2, rule="Rule2")
+        assert counter.value(rule="Rule1") == 1
+        assert counter.value(rule="Rule2") == 2
+        assert counter.value() == 0  # the unlabeled series is separate
+        assert counter.total() == 3
+
+    def test_label_order_is_irrelevant(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a="x", b="y")
+        assert counter.value(b="y", a="x") == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_thread_safety_exact_total(self):
+        counter = MetricsRegistry().counter("c")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+
+class TestHistogram:
+    def test_buckets_sum_count(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        stats = histogram.stats()
+        assert stats["count"] == 4
+        assert stats["sum"] == 555.5
+        # cumulative counts per upper bound
+        assert stats["buckets"][1] == 1
+        assert stats["buckets"][10] == 2
+        assert stats["buckets"][100] == 3
+        assert stats["buckets"][float("inf")] == 4
+
+    def test_default_buckets_end_in_inf(self):
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(10**9)
+        assert histogram.stats()["buckets"][float("inf")] == 1
+
+    def test_labeled_series(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1, rule="A")
+        histogram.observe(2, rule="A")
+        histogram.observe(3, rule="B")
+        assert histogram.stats(rule="A")["count"] == 2
+        assert histogram.stats(rule="B")["count"] == 1
+        assert {tuple(k.items()) for k in histogram.label_keys()} == {
+            (("rule", "A"),), (("rule", "B"),),
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(TypeError):
+            registry.gauge("c")
+        with pytest.raises(TypeError):
+            registry.histogram("c")
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(3, rule="R")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(7)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["c"]["type"] == "counter"
+        assert snapshot["c"]["help"] == "a counter"
+        assert snapshot["c"]["series"] == [{"labels": {"rule": "R"}, "value": 3}]
+        assert snapshot["h"]["series"][0]["count"] == 1
+        assert "+Inf" in snapshot["h"]["series"][0]["buckets"]
+
+
+class TestAmbient:
+    def test_record_is_a_noop_without_a_registry(self):
+        assert ambient_registry() is None
+        record("orphan")  # must not raise, must not leak state
+        record_gauge("orphan_gauge", 1)
+        assert ambient_registry() is None
+
+    def test_collecting_installs_and_restores(self):
+        with collecting() as registry:
+            assert ambient_registry() is registry
+            record("hits", 2, source="x")
+            record_gauge("level", 7)
+        assert ambient_registry() is None
+        assert registry.value("hits", source="x") == 2
+        assert registry.value("level") == 7
+
+    def test_collecting_nests(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        with collecting(outer):
+            with collecting(inner):
+                record("n")
+            record("n")
+        assert inner.value("n") == 1
+        assert outer.value("n") == 1
+
+    def test_empty_registry_is_still_installed(self):
+        # MetricsRegistry.__len__ makes an empty registry falsy; the
+        # ambient plumbing must not discard it for that.
+        registry = MetricsRegistry()
+        with collecting(registry):
+            assert ambient_registry() is registry

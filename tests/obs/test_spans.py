@@ -1,0 +1,103 @@
+"""Span recording: no-op fast path, nesting, Chrome trace events."""
+
+import os
+import threading
+
+from repro.obs import SpanRecorder, recording, span, spans_active
+from repro.obs.spans import _NULL
+
+
+class TestFastPath:
+    def test_span_without_recorder_is_the_shared_null(self):
+        assert span("anything") is _NULL
+        assert span("other", key="value") is _NULL
+
+    def test_null_span_is_a_working_context_manager(self):
+        with span("untracked") as s:
+            s.note(extra=1)  # must not raise
+
+    def test_spans_active(self):
+        assert not spans_active()
+        with recording():
+            assert spans_active()
+        assert not spans_active()
+
+
+class TestRecording:
+    def test_records_a_span(self):
+        with recording() as recorder:
+            with span("work", category="test", size=3):
+                pass
+        [recorded] = recorder.spans()
+        assert recorded.name == "work"
+        assert recorded.category == "test"
+        assert recorded.args == {"size": 3}
+        assert recorded.parent_id is None
+        assert recorded.duration_us >= 0
+
+    def test_nesting_sets_parent_ids(self):
+        with recording() as recorder:
+            with span("outer"):
+                with span("inner.a"):
+                    with span("leaf"):
+                        pass
+                with span("inner.b"):
+                    pass
+        outer = recorder.find("outer")[0]
+        inner_a = recorder.find("inner.a")[0]
+        inner_b = recorder.find("inner.b")[0]
+        leaf = recorder.find("leaf")[0]
+        assert inner_a.parent_id == outer.span_id
+        assert inner_b.parent_id == outer.span_id
+        assert leaf.parent_id == inner_a.span_id
+        assert {s.name for s in recorder.children_of(outer.span_id)} == {
+            "inner.a", "inner.b",
+        }
+
+    def test_sibling_after_child_reparents_correctly(self):
+        # the parent ContextVar must be restored on exit, not leaked
+        with recording() as recorder:
+            with span("parent"):
+                with span("first"):
+                    pass
+                with span("second"):
+                    pass
+        first, second = recorder.find("first")[0], recorder.find("second")[0]
+        assert first.parent_id == second.parent_id
+
+    def test_note_attaches_mid_span_args(self):
+        with recording() as recorder:
+            with span("phase") as s:
+                s.note(bindings=12)
+        assert recorder.find("phase")[0].args["bindings"] == 12
+
+    def test_recording_restores_previous_recorder(self):
+        outer = SpanRecorder()
+        with recording(outer):
+            with recording() as inner:
+                with span("inner.only"):
+                    pass
+            with span("outer.only"):
+                pass
+        assert [s.name for s in inner.spans()] == ["inner.only"]
+        assert [s.name for s in outer.spans()] == ["outer.only"]
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        with recording() as recorder:
+            with span("run", category="yat", rules=2):
+                with span("rule"):
+                    pass
+        events = recorder.chrome_trace_events()
+        assert len(events) == 2
+        run = next(e for e in events if e["name"] == "run")
+        rule = next(e for e in events if e["name"] == "rule")
+        assert run["ph"] == "X"
+        assert run["cat"] == "yat"
+        assert run["pid"] == os.getpid()
+        assert run["tid"] == threading.get_ident()
+        assert run["args"]["rules"] == 2
+        assert rule["args"]["parent_id"] == run["args"]["span_id"]
+        assert run["ts"] <= rule["ts"]
+        assert run["dur"] >= rule["dur"]

@@ -1,5 +1,6 @@
 """The command-line interface (the stand-alone executables of §5.1)."""
 
+import json
 import os
 
 import pytest
@@ -105,6 +106,48 @@ class TestConvert:
     def test_missing_input_file(self, capsys):
         assert main(["convert", "O2Web", "/nonexistent.sgml"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_profile_writes_chrome_trace(self, sgml_file, tmp_path, capsys):
+        profile = str(tmp_path / "profile.json")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file, "--profile", profile]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "class -> car" in captured.out  # normal output untouched
+        assert f"profile written to {profile}" in captured.err
+        with open(profile) as handle:
+            payload = json.load(handle)
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"pipeline", "yatl.run", "yatl.rule", "export"} <= names
+        assert payload["otherData"]["program"] == "SgmlBrochuresToOdmg"
+        applications = payload["metrics"]["yatl.rule.applications"]["series"]
+        assert {"labels": {"rule": "Rule1"}, "value": 1} in applications
+
+
+class TestStats:
+    def test_text_format(self, sgml_file, capsys):
+        assert main(["stats", "SgmlBrochuresToOdmg", sgml_file]) == 0
+        out = capsys.readouterr().out
+        assert "output tree(s)" in out
+        assert "yatl.rule.applications{rule=Rule1} = 1" in out
+        assert "wrapper.import.trees{source=sgml} = 3" in out
+        assert "cli.input.files = 1" in out
+
+    def test_json_format(self, sgml_file, capsys):
+        assert main(
+            ["stats", "SgmlBrochuresToOdmg", sgml_file, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["yatl.inputs.total"]["series"][0]["value"] == 3
+
+    def test_prometheus_format(self, sgml_file, capsys):
+        assert main(
+            ["stats", "SgmlBrochuresToOdmg", sgml_file, "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE yatl_rule_applications counter" in out
+        assert 'yatl_rule_applications{rule="Rule1"} 1' in out
+        assert "yatl_rule_seconds_bucket" in out  # histogram exposition
 
 
 class TestLibraryDirectory:

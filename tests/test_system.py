@@ -47,6 +47,16 @@ class TestRuntimeEnvironment:
         merged = system.merge_stores(a, b)
         assert len(merged) == 3
 
+    def test_merge_stores_survives_rename_collisions(self, system):
+        # Source 0 already holds the spelling the rename would pick.
+        a = DataStore({"x": tree("a"), "x@1": tree("b")})
+        b = DataStore({"x": tree("c")})
+        merged = system.merge_stores(a, b)
+        assert len(merged) == 3  # no tree silently dropped
+        assert merged.get("x").label == tree("a").label
+        assert merged.get("x@1").label == tree("b").label
+        assert merged.get("x@1~2").label == tree("c").label
+
     def test_import_export_odmg(self, system):
         objects = car_object_store(cars=2, suppliers=2)
         store = system.import_odmg(objects)
