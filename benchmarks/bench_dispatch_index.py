@@ -22,6 +22,13 @@ results, only how fast non-matches are discarded). ``--json`` also
 writes per-leg wall times plus the run's key observability metrics
 (dispatch ratios, Skolem stats, demand iterations) so CI can archive
 them as an artifact.
+
+``--provenance`` adds a third leg: the indexed configuration re-run
+with the per-firing provenance recorder installed (at ``--sample-rate``),
+reporting its overhead against the recorder-off indexed leg and
+asserting the output store stays byte-identical. With
+``--max-overhead-pct`` the benchmark exits non-zero when the recorder
+costs more than the budget — the CI guardrail for the <5% target.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.trees import DataStore, tree  # noqa: E402
 from repro.library.programs import BROCHURES_TEXT  # noqa: E402
+from repro.obs import ProvenanceStore, tracing  # noqa: E402
 from repro.workloads import brochure_trees  # noqa: E402
 from repro.yatl.parser import parse_program  # noqa: E402
 
@@ -116,9 +124,11 @@ def dealer_store(brochures: int, documents: int, kinds) -> DataStore:
     return store
 
 
-def run_once(program, store, use_index: bool):
+def run_once(program, store, use_index: bool, provenance=None):
     start = time.perf_counter()
-    result = program.run(store, use_dispatch_index=use_index)
+    result = program.run(
+        store, use_dispatch_index=use_index, provenance=provenance
+    )
     elapsed = time.perf_counter() - start
     if result.unconverted:
         raise AssertionError(
@@ -157,6 +167,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", metavar="FILE", dest="json_path",
         help="write timings and key run metrics to FILE as JSON",
+    )
+    parser.add_argument(
+        "--provenance", action="store_true",
+        help="add an indexed leg with the per-firing provenance "
+             "recorder installed and report its overhead",
+    )
+    parser.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="recorder sample rate for the provenance leg (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when the provenance leg is more than PCT "
+             "percent slower than the recorder-off indexed leg",
     )
     args = parser.parse_args(argv)
 
@@ -229,6 +253,84 @@ def main(argv=None) -> int:
             )
             report["speedup"] = round(speedup, 3)
             print(f"  speedup  : {speedup:9.2f}x  (identical output stores)")
+
+        if args.provenance:
+            # Overhead is measured pair-wise: each repetition runs the
+            # recorder-off and recorder-on legs back to back (order
+            # alternating), and the reported overhead is the *median*
+            # of the per-pair ratios. Back-to-back runs see the same
+            # machine conditions, and the median survives the scheduler
+            # outliers that would dominate a min-of-legs comparison of
+            # a few-percent delta.
+            base_times, prov_times = [], []
+            prov_result = prov = None
+
+            def timed_base():
+                elapsed, _unused = run_once(program, store, use_index=True)
+                base_times.append(elapsed)
+                return elapsed
+
+            def timed_prov():
+                nonlocal prov, prov_result
+                prov = ProvenanceStore(sample_rate=args.sample_rate)
+                with tracing(prov):
+                    elapsed, prov_result = run_once(
+                        program, store, use_index=True
+                    )
+                prov_times.append(elapsed)
+                return elapsed
+
+            pair_overheads = []
+            for repetition in range(max(1, args.repeat)):
+                if repetition % 2 == 0:
+                    base_elapsed = timed_base()
+                    prov_elapsed = timed_prov()
+                else:
+                    prov_elapsed = timed_prov()
+                    base_elapsed = timed_base()
+                if base_elapsed:
+                    pair_overheads.append(
+                        (prov_elapsed - base_elapsed) / base_elapsed * 100
+                    )
+            base_time, prov_time = min(base_times), min(prov_times)
+            pair_overheads.sort()
+            overhead_pct = (
+                pair_overheads[len(pair_overheads) // 2]
+                if pair_overheads
+                else 0.0
+            )
+            print(
+                f"  +recorder: {prov_time * 1000:9.1f} ms  "
+                f"({overhead_pct:+.2f}% vs {base_time * 1000:.1f} ms "
+                f"recorder-off, "
+                f"{prov.recorded}/{prov.firings} firing(s) recorded)"
+            )
+            leg = leg_report(prov_time, prov_result)
+            leg["sample_rate"] = args.sample_rate
+            leg["provenance_firings"] = prov.firings
+            leg["provenance_records"] = prov.recorded
+            leg["baseline_wall_ms"] = round(base_time * 1000, 3)
+            leg["overhead_pct"] = round(overhead_pct, 3)
+            report["legs"]["indexed_provenance"] = leg
+
+            prov_same = list(prov_result.store.items()) == list(
+                indexed_result.store.items()
+            )
+            report["provenance_identical_outputs"] = prov_same
+            if not prov_same:
+                print(
+                    "FAIL: provenance recording changed the output store"
+                )
+                exit_code = 1
+            if (
+                args.max_overhead_pct is not None
+                and overhead_pct > args.max_overhead_pct
+            ):
+                print(
+                    f"FAIL: recorder overhead {overhead_pct:.2f}% exceeds "
+                    f"the {args.max_overhead_pct:.2f}% budget"
+                )
+                exit_code = 1
 
     if args.json_path:
         with open(args.json_path, "w") as handle:

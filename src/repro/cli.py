@@ -20,7 +20,11 @@ Programs are named library programs or ``.yatl`` files; input documents
 are SGML files (one or several documents per file). ``--profile``
 writes a Chrome-trace profile (load it in ``about:tracing`` or
 https://ui.perfetto.dev) with the run's metrics attached; ``stats``
-runs a conversion and prints its metrics instead of its output.
+runs a conversion and prints its metrics instead of its output;
+``--events`` writes the structured JSONL event log (one ``rule.fired``
+event per recorded firing, span/trace ids joinable with the profile);
+``lineage`` answers "why is this output node here?" (backward) and
+"where did this input end up?" (forward) — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -35,7 +39,9 @@ from typing import List, Optional
 from .errors import YatError
 from .library.store import Library, standard_library
 from .obs import (
+    EventLog,
     MetricsRegistry,
+    ProvenanceStore,
     SpanRecorder,
     collecting,
     metrics_to_json,
@@ -43,6 +49,7 @@ from .obs import (
     record,
     recording,
     span,
+    tracing,
     write_profile,
 )
 from .sgml.parser import parse_sgml_many
@@ -138,14 +145,39 @@ def _emit(result, out_dir: Optional[str], to: str) -> None:
             print(f"  {warning}", file=sys.stderr)
 
 
+def _refuse_overwrite(args, *path_attrs: str) -> Optional[str]:
+    """The first output path that already exists, unless ``--force``."""
+    if getattr(args, "force", False):
+        return None
+    for attr in path_attrs:
+        path = getattr(args, attr, None)
+        if path and os.path.exists(path):
+            return path
+    return None
+
+
 def cmd_convert(args, library: Library) -> int:
     program = _load_program(args.program, library)
+    existing = _refuse_overwrite(args, "profile", "events")
+    if existing is not None:
+        print(
+            f"error: {existing} already exists (use --force to overwrite)",
+            file=sys.stderr,
+        )
+        return 1
     profiling = bool(getattr(args, "profile", None))
+    eventing = bool(getattr(args, "events", None))
     registry = MetricsRegistry()
     recorder = SpanRecorder() if profiling else None
+    events = EventLog() if eventing else None
+    provenance = (
+        ProvenanceStore(sample_rate=args.sample_rate, events=events)
+        if eventing
+        else None
+    )
     with collecting(registry), (
         recording(recorder) if profiling else nullcontext()
-    ):
+    ), (tracing(provenance) if provenance is not None else nullcontext()):
         with span("pipeline", program=args.program, to=args.to):
             store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
             result = program.run(store, runtime_typing=args.runtime_typing)
@@ -163,9 +195,88 @@ def cmd_convert(args, library: Library) -> int:
             },
         )
         print(f"profile written to {args.profile}", file=sys.stderr)
+    if eventing:
+        events.write(args.events)
+        print(
+            f"{len(events)} event(s) written to {args.events} "
+            f"({provenance.recorded}/{provenance.firings} firing(s) recorded)",
+            file=sys.stderr,
+        )
     if result.unconverted:
         print(f"({len(result.unconverted)} input(s) matched by no rule)",
               file=sys.stderr)
+    return 0
+
+
+def _print_backward_chain(prov, node: str, out, indent: str = "",
+                          seen=None) -> None:
+    """The recursive ``why is this node here?`` text report."""
+    seen = set() if seen is None else seen
+    records = prov.records_of(node)
+    source = prov.source_of(node)
+    origin = f" (source {source})" if source else ""
+    if node in seen:
+        print(f"{indent}{node}{origin} (see above)", file=out)
+        return
+    seen.add(node)
+    if not records:
+        print(f"{indent}{node}{origin}", file=out)
+        return
+    for record_ in records:
+        rule = record_.rule
+        if record_.program:
+            rule += f" (program {record_.program})"
+        print(f"{indent}{node}{origin} <- {rule}", file=out)
+        for input_id in record_.inputs:
+            _print_backward_chain(prov, input_id, out, indent + "  ", seen)
+
+
+def cmd_lineage(args, library: Library) -> int:
+    """Run a conversion with the recorder on, then answer lineage
+    queries over the result."""
+    program = _load_program(args.program, library)
+    registry = MetricsRegistry()
+    provenance = ProvenanceStore(sample_rate=args.sample_rate)
+    with collecting(registry), tracing(provenance), recording(SpanRecorder()):
+        with span("pipeline", program=args.program, to="lineage"):
+            store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+            result = program.run(store, runtime_typing=args.runtime_typing)
+    nodes = [args.node] if args.node else list(result.store.names())
+    known = provenance.nodes()
+    missing = [n for n in nodes if n not in known]
+    if missing:
+        print(
+            f"error: no lineage for {', '.join(missing)} "
+            f"(known nodes: {', '.join(sorted(known)) or 'none'})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "dot":
+        print(provenance.to_dot(args.node if args.node else None), end="")
+        return 0
+    if args.format == "json":
+        payload = {
+            "program": program.name,
+            "sample_rate": provenance.sample_rate,
+            "nodes": {
+                node: {
+                    "backward": [r.to_json() for r in provenance.backward(node)],
+                    "forward": sorted(provenance.forward(node)),
+                    "leaves": sorted(provenance.leaves(node)),
+                    "origins": sorted(provenance.origins_of(node)),
+                }
+                for node in nodes
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for node in nodes:
+        if args.forward:
+            reached = sorted(provenance.forward(node))
+            where = ", ".join(reached) if reached else "(consumed by nothing)"
+            print(f"{node} -> {where}")
+        else:
+            _print_backward_chain(provenance, node, sys.stdout)
     return 0
 
 
@@ -246,6 +357,37 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--profile", metavar="FILE",
                          help="write a Chrome-trace profile (spans + metrics) "
                               "of the run to FILE")
+    convert.add_argument("--events", metavar="FILE",
+                         help="write the structured JSONL event log (one "
+                              "rule.fired event per recorded firing) to FILE")
+    convert.add_argument("--force", action="store_true",
+                         help="overwrite existing --profile/--events files")
+    convert.add_argument("--sample-rate", type=float, default=1.0,
+                         metavar="RATE",
+                         help="fraction of rule firings to record in the "
+                              "event log (default 1.0; counters stay exact)")
+
+    lineage = sub.add_parser(
+        "lineage",
+        help="run a conversion with provenance on and query node lineage",
+    )
+    lineage.add_argument("program")
+    lineage.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    lineage.add_argument("--node", metavar="ID",
+                         help="the node to explain (default: every output)")
+    lineage.add_argument("--forward", action="store_true",
+                         help="ask 'where did this node end up?' instead of "
+                              "'why is it here?'")
+    lineage.add_argument("--format", choices=["text", "json", "dot"],
+                         default="text")
+    lineage.add_argument("--sample-rate", type=float, default=1.0,
+                         metavar="RATE",
+                         help="fraction of rule firings to record "
+                              "(default 1.0 — complete chains)")
+    lineage.add_argument("--runtime-typing", action="store_true",
+                         help="raise on inputs matched by no rule (Section 3.5)")
+    lineage.add_argument("--no-coerce", action="store_true",
+                         help="keep numeric-looking PCDATA as strings")
 
     stats = sub.add_parser(
         "stats", help="run a conversion and print its metrics"
@@ -278,6 +420,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": cmd_show,
         "check": cmd_check,
         "convert": cmd_convert,
+        "lineage": cmd_lineage,
         "stats": cmd_stats,
         "pipeline": cmd_pipeline,
     }

@@ -17,7 +17,14 @@ Three modules:
   → export), recorded only while a :class:`SpanRecorder` is installed
   and dumpable as Chrome trace-event JSON;
 * :mod:`.export` — JSON and Prometheus text exposition of a run's
-  metrics, and combined profile files for ``repro convert --profile``.
+  metrics, and combined profile files for ``repro convert --profile``;
+* :mod:`.provenance` — per-node lineage: an indexed
+  :class:`ProvenanceStore` of rule-firing records with backward ("why
+  is this node here?") and forward ("where did this input end up?")
+  queries, installed ambiently with :func:`tracing`;
+* :mod:`.events` — a structured :class:`EventLog` (JSONL) mirroring
+  provenance records, joinable to the Chrome-trace export through
+  ``span_id``/``trace_id``.
 
 Overhead discipline: metric *mutation* takes one lock; the truly hot
 paths (per-subject memo probes, dispatch admission checks) accumulate
@@ -35,13 +42,29 @@ from .metrics import (
     record,
     record_gauge,
 )
-from .spans import Span, SpanRecorder, recording, span, spans_active
+from .spans import (
+    Span,
+    SpanRecorder,
+    current_span_id,
+    current_trace_id,
+    recording,
+    span,
+    spans_active,
+)
 from .export import (
     chrome_trace,
     metrics_to_json,
     metrics_to_prometheus,
     profile_payload,
     write_profile,
+)
+from .events import EventLog
+from .provenance import (
+    ProvenanceRecord,
+    ProvenanceStore,
+    ambient_provenance,
+    stamp_inputs,
+    tracing,
 )
 
 __all__ = [
@@ -55,6 +78,8 @@ __all__ = [
     "record_gauge",
     "Span",
     "SpanRecorder",
+    "current_span_id",
+    "current_trace_id",
     "recording",
     "span",
     "spans_active",
@@ -63,4 +88,10 @@ __all__ = [
     "metrics_to_prometheus",
     "profile_payload",
     "write_profile",
+    "EventLog",
+    "ProvenanceRecord",
+    "ProvenanceStore",
+    "ambient_provenance",
+    "stamp_inputs",
+    "tracing",
 ]

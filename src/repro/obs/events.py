@@ -1,0 +1,81 @@
+"""Structured event log: JSON-ready records of *what happened*, in order.
+
+Metrics aggregate and spans time; the event log keeps the individual
+occurrences — one record per rule firing (see
+:mod:`repro.obs.provenance`), per merge rename, per anything a pipeline
+stage wants to narrate. Every event carries:
+
+* ``type`` — a dotted event name (``rule.fired``, ``merge.rename``);
+* ``seq`` — a per-log monotonically increasing sequence number;
+* ``ts_us`` — microseconds on the *same* ``perf_counter`` clock the
+  span recorder stamps Chrome-trace events with, so events and spans
+  recorded together line up on one timeline;
+* whatever fields the emitter attached (``span_id`` and ``trace_id``
+  when a span recorder was active — the join keys back into the
+  Chrome-trace export).
+
+The log serializes as JSONL (one compact JSON object per line), the
+format ``repro convert --events out.jsonl`` writes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class EventLog:
+    """An append-only, thread-safe list of JSON-ready events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, object]] = []
+
+    def emit(self, type: str, **fields: object) -> Dict[str, object]:
+        """Append one event; returns the stored record."""
+        event: Dict[str, object] = {
+            "type": type,
+            "ts_us": time.perf_counter_ns() / 1000.0,
+        }
+        event.update(fields)
+        with self._lock:
+            event["seq"] = len(self._events) + 1
+            self._events.append(event)
+        return event
+
+    def events(self, type: Optional[str] = None) -> List[Dict[str, object]]:
+        """All events, in emission order; optionally one type only."""
+        with self._lock:
+            items = list(self._events)
+        if type is None:
+            return items
+        return [event for event in items if event["type"] == type]
+
+    def to_jsonl(self) -> str:
+        """The log as JSONL text (one compact object per line)."""
+        lines = [
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self.events()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> int:
+        """Write the log to *path* as JSONL; returns the event count."""
+        events = self.events()
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True, default=str))
+                handle.write("\n")
+        return len(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.events())
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self)} event(s))"

@@ -50,6 +50,11 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
                     )
                 lines.append(f"{name}_sum{_label_text(labels)} {_num(stats['sum'])}")
                 lines.append(f"{name}_count{_label_text(labels)} {_num(stats['count'])}")
+                nonfinite = stats.get("nonfinite", 0)
+                if nonfinite:
+                    lines.append(
+                        f"{name}_nonfinite{_label_text(labels)} {_num(nonfinite)}"
+                    )
         else:
             for labels, value in metric.samples():
                 lines.append(f"{name}{_label_text(labels)} {_num(value)}")
@@ -57,10 +62,13 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
 
 
 def chrome_trace(recorder: SpanRecorder) -> Dict[str, object]:
-    """A Chrome trace-event document for the recorded spans."""
+    """A Chrome trace-event document for the recorded spans. The
+    recorder's ``trace_id`` rides along in ``otherData`` — the join key
+    provenance events carry (see :mod:`repro.obs.events`)."""
     return {
         "traceEvents": recorder.chrome_trace_events(),
         "displayTimeUnit": "ms",
+        "otherData": {"trace_id": recorder.trace_id},
     }
 
 
@@ -74,8 +82,13 @@ def profile_payload(
         "traceEvents": recorder.chrome_trace_events() if recorder else [],
         "displayTimeUnit": "ms",
     }
+    other: Dict[str, object] = {}
+    if recorder is not None:
+        other["trace_id"] = recorder.trace_id
     if meta:
-        payload["otherData"] = dict(meta)
+        other.update(meta)
+    if other:
+        payload["otherData"] = other
     if registry is not None:
         payload["metrics"] = metrics_to_json(registry)
     return payload

@@ -126,10 +126,17 @@ class Histogram(Metric):
             bounds = bounds + (math.inf,)
         self.buckets = bounds
         self._series: Dict[LabelKey, List[float]] = {}  # bucket counts + [sum, count]
+        self._nonfinite: Dict[LabelKey, float] = {}  # NaN/±inf observations
 
     def observe(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
         with self._lock:
+            if not math.isfinite(value):
+                # A single NaN would poison `sum` (and +inf the last
+                # bucket) forever; quarantine non-finite observations
+                # in their own counter instead.
+                self._nonfinite[key] = self._nonfinite.get(key, 0) + 1
+                return
             series = self._series.get(key)
             if series is None:
                 series = [0.0] * (len(self.buckets) + 2)
@@ -143,21 +150,27 @@ class Histogram(Metric):
             self._values[key] = series[-1]  # Metric.value() -> observation count
 
     def stats(self, **labels: object) -> Dict[str, object]:
-        """``{"count", "sum", "buckets": {le: cumulative_count}}``."""
+        """``{"count", "sum", "buckets": {le: cumulative_count},
+        "nonfinite": quarantined_observations}``."""
         key = _label_key(labels)
         with self._lock:
+            nonfinite = self._nonfinite.get(key, 0)
             series = self._series.get(key)
             if series is None:
-                return {"count": 0, "sum": 0.0, "buckets": {}}
+                return {"count": 0, "sum": 0.0, "buckets": {},
+                        "nonfinite": nonfinite}
             cumulative, running = {}, 0.0
             for index, bound in enumerate(self.buckets):
                 running += series[index]
                 cumulative[bound] = running
-            return {"count": series[-1], "sum": series[-2], "buckets": cumulative}
+            return {"count": series[-1], "sum": series[-2],
+                    "buckets": cumulative, "nonfinite": nonfinite}
 
     def label_keys(self) -> List[Dict[str, str]]:
         with self._lock:
-            return [dict(key) for key in self._series]
+            keys = dict.fromkeys(self._series)
+            keys.update(dict.fromkeys(self._nonfinite))
+            return [dict(key) for key in keys]
 
 
 class MetricsRegistry:
@@ -254,7 +267,12 @@ def _histogram_json(stats: Dict[str, object]) -> Dict[str, object]:
         ("+Inf" if bound == math.inf else repr(bound)): count
         for bound, count in stats["buckets"].items()  # type: ignore[union-attr]
     }
-    return {"count": stats["count"], "sum": stats["sum"], "buckets": buckets}
+    return {
+        "count": stats["count"],
+        "sum": stats["sum"],
+        "nonfinite": stats.get("nonfinite", 0),
+        "buckets": buckets,
+    }
 
 
 # ---------------------------------------------------------------------------

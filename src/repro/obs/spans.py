@@ -27,12 +27,18 @@ Perfetto, speedscope).
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, List, Optional
+
+#: Process-wide trace-id allocator: every SpanRecorder gets a distinct
+#: trace id, the join key between its Chrome-trace export and any
+#: structured events (repro.obs.events) recorded under it.
+_TRACE_IDS = itertools.count(1)
 
 
 class Span:
@@ -81,6 +87,10 @@ class SpanRecorder:
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._next_id = 1
+        #: Stable identifier for this recording, embedded in the
+        #: Chrome-trace export and stamped on provenance events so the
+        #: two artifacts can be joined.
+        self.trace_id = f"trace-{os.getpid()}-{next(_TRACE_IDS)}"
 
     def allocate_id(self) -> int:
         with self._lock:
@@ -207,6 +217,18 @@ def spans_active() -> bool:
     """Whether a recorder is currently installed (lets callers skip
     computing expensive span arguments)."""
     return _RECORDER.get() is not None
+
+
+def current_span_id() -> Optional[int]:
+    """The id of the innermost open span, or None when not recording —
+    the join key provenance records carry back into the span tree."""
+    return _CURRENT.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The installed recorder's trace id, or None when not recording."""
+    recorder = _RECORDER.get()
+    return recorder.trace_id if recorder is not None else None
 
 
 @contextmanager

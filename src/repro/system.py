@@ -15,6 +15,7 @@ scenario: relational + SGML sources → ODMG objects → HTML pages.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Optional, Sequence, Union
 
 from .core.models import Model
@@ -22,7 +23,7 @@ from .core.patterns import Pattern
 from .core.trees import DataStore, Tree
 from .errors import YatError
 from .library.store import Library, standard_library
-from .obs import MetricsRegistry, collecting, span
+from .obs import MetricsRegistry, ProvenanceStore, collecting, span, tracing
 from .objectdb.schema import ObjectSchema
 from .objectdb.store import ObjectStore
 from .relational.database import Database
@@ -45,15 +46,36 @@ class YatSystem:
     merges) accounts into — one registry per system, aggregating
     across pipeline runs. Pass a registry to share it wider, e.g.
     with a metrics endpoint.
+
+    ``provenance`` is the optional system-level
+    :class:`~repro.obs.ProvenanceStore`. When given, every run-time
+    operation records into it: wrappers stamp imported node ids with
+    their source, conversions add per-firing records, and
+    ``merge_stores`` renames become ``merge.rename`` pseudo records —
+    so lineage chains stay connected *across* the programs of a
+    pipeline (output ``c1`` of the object-translation program is input
+    ``c1`` of the HTML-publication program; joining is by node name,
+    which cross-program renames keep unique). Without it, per-firing
+    recording is off (runs still get exact name-level origins).
     """
 
     def __init__(
         self,
         library: Optional[Library] = None,
         metrics: Optional[MetricsRegistry] = None,
+        provenance: Optional[ProvenanceStore] = None,
     ) -> None:
         self.library = library if library is not None else standard_library()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.provenance = provenance
+
+    def _tracing(self):
+        """The ambient-provenance context for run-time operations: a
+        real `tracing` block when the system has a store, else a no-op
+        (never install a fresh store the caller can't see)."""
+        if self.provenance is not None:
+            return tracing(self.provenance)
+        return nullcontext(None)
 
     # ------------------------------------------------------------------
     # Specification environment
@@ -108,7 +130,7 @@ class YatSystem:
     # ------------------------------------------------------------------
 
     def import_relational(self, database: Database) -> DataStore:
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return RelationalImportWrapper().to_store(database)
 
     def import_sgml(
@@ -121,13 +143,13 @@ class YatSystem:
         into numbers (needed by Rule 1's ``Year > 1975``); disable it
         when joining against string-typed relational columns (Rule 3's
         ``Num``/``broch_num``)."""
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return SgmlImportWrapper(
                 dtd=dtd, coerce_numbers=coerce_numbers
             ).to_store(documents)
 
     def import_odmg(self, store: ObjectStore) -> DataStore:
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return OdmgImportWrapper().to_store(store)
 
     def merge_stores(self, *stores: DataStore) -> DataStore:
@@ -151,6 +173,11 @@ class YatSystem:
                         unique = f"{name}@{index}~{attempt}"
                         attempt += 1
                     renames += 1
+                    if self.provenance is not None:
+                        # Keep lineage chains connected through the
+                        # rename (backward from consumers of `unique`
+                        # reaches the producers of `name`).
+                        self.provenance.alias(unique, name)
                 merged.add(unique, node)
         self.metrics.counter(
             "system.merge.stores", "merge_stores invocations"
@@ -167,19 +194,19 @@ class YatSystem:
         data: Union[DataStore, Sequence[Tree], Tree],
         runtime_typing: bool = False,
     ) -> ConversionResult:
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return program.run(data, runtime_typing=runtime_typing)
 
     def export_odmg(
         self, result: ConversionResult, schema: ObjectSchema
     ) -> ObjectStore:
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return OdmgExportWrapper(schema).from_store(result.store)
 
     def export_html(
         self, result: ConversionResult, functor: str = "HtmlPage"
     ) -> Dict[str, str]:
-        with collecting(self.metrics):
+        with collecting(self.metrics), self._tracing():
             return HtmlExportWrapper().export_result(result, functor)
 
     # ------------------------------------------------------------------
@@ -196,7 +223,7 @@ class YatSystem:
     ) -> ObjectStore:
         """Sources → ODMG objects: the materialized variant of Figure 1
         arrow (1)."""
-        with collecting(self.metrics), span(
+        with collecting(self.metrics), self._tracing(), span(
             "pipeline", program=program.name, target="odmg"
         ):
             stores = []
@@ -213,7 +240,7 @@ class YatSystem:
         self, program: Program, objects: ObjectStore
     ) -> Dict[str, str]:
         """ODMG objects → HTML pages: Figure 1 arrow (2)."""
-        with collecting(self.metrics), span(
+        with collecting(self.metrics), self._tracing(), span(
             "pipeline", program=program.name, target="html"
         ):
             result = self.run(program, self.import_odmg(objects))

@@ -21,7 +21,7 @@ from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
 from ..objectdb.schema import ObjectSchema
 from ..objectdb.store import ObjectInstance, ObjectStore, Oid
-from ..obs import record, span
+from ..obs import record, span, stamp_inputs
 from ..objectdb.types import (
     AtomicType,
     CollectionType,
@@ -44,6 +44,7 @@ class OdmgImportWrapper(ImportWrapper[ObjectStore]):
             for instance in source:
                 store.add(instance.oid.value, self.object_to_tree(source, instance))
         record("wrapper.import.trees", len(store), source="odmg")
+        stamp_inputs(store, "odmg")
         return store
 
     def object_to_tree(self, source: ObjectStore, instance: ObjectInstance) -> Tree:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..core.labels import Symbol, is_atom
 from ..core.trees import DataStore, Tree
 from ..errors import WrapperError
-from ..obs import record, span
+from ..obs import record, span, stamp_inputs
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema
 from ..relational.table import Table
@@ -38,6 +38,7 @@ class RelationalImportWrapper(ImportWrapper[Database]):
                 store.add(name, tree)
         record("wrapper.import.trees", len(store), source="relational")
         record("wrapper.import.rows", rows, source="relational")
+        stamp_inputs(store, "relational")
         return store
 
 

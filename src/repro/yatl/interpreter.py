@@ -30,6 +30,7 @@ from ..errors import (
 )
 from ..obs import MetricsRegistry, ambient_registry, span
 from ..obs.metrics import TIME_BUCKETS
+from ..obs.provenance import ProvenanceStore, ambient_provenance
 from .ast import Expr, FunctionCall, Rule
 from .bindings import Binding, Value
 from .construction import (
@@ -76,6 +77,8 @@ M_SKOLEM_REUSED = "yatl.skolem.ids_reused"
 M_SKOLEM_SIZE = "yatl.skolem.table_size"
 M_MATCH_ROOT_MEMO_HITS = "yatl.match.root_memo_hits"
 M_MATCH_COVERAGE_MEMO_HITS = "yatl.match.coverage_memo_hits"
+M_PROVENANCE_FIRINGS = "yatl.provenance.firings"
+M_PROVENANCE_RECORDS = "yatl.provenance.records"
 
 
 class ConversionResult:
@@ -90,7 +93,12 @@ class ConversionResult:
     non-strict mode...); ``metrics`` is the run's
     :class:`~repro.obs.MetricsRegistry` — per-rule phase counters,
     dispatch-index hit and candidate-reduction ratios, Skolem table
-    stats (see docs/OBSERVABILITY.md for the catalog).
+    stats (see docs/OBSERVABILITY.md for the catalog); ``provenance``
+    is the run's :class:`~repro.obs.ProvenanceStore` — name-level
+    origins for every output (always exact), plus per-firing lineage
+    records with backward/forward queries when a store was installed
+    (``Interpreter(provenance=...)`` or the ambient
+    :func:`repro.obs.tracing`).
     """
 
     def __init__(
@@ -99,15 +107,17 @@ class ConversionResult:
         skolems: SkolemTable,
         unconverted: List[Tree],
         warnings: List[str],
-        provenance: Optional[Dict[str, Set[str]]] = None,
+        provenance: Optional[ProvenanceStore] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.skolems = skolems
         self.unconverted = unconverted
         self.warnings = warnings
-        #: output identifier -> names of the input trees it derives from
-        self.provenance: Dict[str, Set[str]] = provenance or {}
+        #: per-node lineage for this run (see docs/OBSERVABILITY.md)
+        self.provenance: ProvenanceStore = (
+            provenance if provenance is not None else ProvenanceStore()
+        )
         #: runtime accounting for this run
         self.metrics: MetricsRegistry = (
             metrics if metrics is not None else MetricsRegistry()
@@ -125,15 +135,16 @@ class ConversionResult:
 
     def lineage(self, identifier: str) -> Set[str]:
         """The input-tree names an output was derived from (mediator
-        lineage — which sources fed this integrated object)."""
-        return set(self.provenance.get(identifier, set()))
+        lineage — which sources fed this integrated object). A view
+        over ``provenance.origins_of``; always exact, recorder or not."""
+        return self.provenance.origins_of(identifier)
 
     def derived_from(self, input_name: str) -> List[str]:
         """Outputs whose derivation involved the named input tree."""
         return [
             identifier
             for identifier in self.store.names()
-            if input_name in self.provenance.get(identifier, ())
+            if input_name in self.provenance.origins_of(identifier)
         ]
 
     def __repr__(self) -> str:
@@ -183,6 +194,15 @@ class Interpreter:
         (pipelines and the CLI aggregate that way), or a fresh
         registry otherwise; either way the registry is surfaced on
         ``ConversionResult.metrics``.
+    provenance:
+        A :class:`~repro.obs.ProvenanceStore` to record per-firing
+        lineage into. When omitted, each run uses the ambient store
+        installed by :func:`repro.obs.tracing` if there is one; with
+        neither, only the always-on name-level origins are kept (no
+        per-firing records — the zero-overhead default).
+    program_name:
+        Stamped on every provenance record this interpreter emits, so
+        cross-program chains name the program each hop came from.
     """
 
     def __init__(
@@ -198,6 +218,8 @@ class Interpreter:
         use_dispatch_index: bool = True,
         parallel_safe_batches: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        provenance: Optional[ProvenanceStore] = None,
+        program_name: Optional[str] = None,
     ) -> None:
         self.rules = list(rules)
         self.registry = registry or standard_registry()
@@ -207,6 +229,8 @@ class Interpreter:
         self.strict_refs = strict_refs
         self.max_demand_iterations = max_demand_iterations
         self.metrics = metrics
+        self.provenance = provenance
+        self.program_name = program_name
         self.dispatch = self.hierarchy.dispatch_index() if use_dispatch_index else None
         if parallel_safe_batches is not None and parallel_safe_batches < 1:
             raise ValueError("parallel_safe_batches must be >= 1")
@@ -424,6 +448,14 @@ class _RunState:
             id(node): name for name, node in store
         }
         self._active_origins: Set[str] = set()
+        # Detailed per-firing recorder: explicit or ambient, usually
+        # None. Resolved once per run; when None the construct path pays
+        # exactly one extra `is not None` check per output group.
+        self.prov: Optional[ProvenanceStore] = interpreter.provenance
+        if self.prov is None:
+            self.prov = ambient_provenance()
+        self.prov_firings = 0
+        self.prov_records = 0
 
     # -- Skolem callback ------------------------------------------------------
 
@@ -590,6 +622,16 @@ class _RunState:
                 built += 1
                 self.pending_ref.discard(identifier)
                 self.pending_deref.discard(identifier)
+                if self.prov is not None:
+                    self.prov_firings += 1
+                    if self.prov.record_firing(
+                        identifier,
+                        rule.name,
+                        inputs=origins,
+                        program=self.interp.program_name,
+                        skolem=lambda i=identifier: self.skolems.term_text(i),
+                    ):
+                        self.prov_records += 1
         if built:
             metrics.counter(M_RULE_OUTPUTS).inc(built, rule=rule.name)
         if skipped:
@@ -746,14 +788,17 @@ class _RunState:
                 raise DanglingReferenceError(message)
             self.warnings.append(message)
         unconverted = [t for t in self.inputs if not self._converted(t)]
-        provenance = {
-            identifier: origins
-            for identifier, origins in self.provenance.items()
-            if identifier in output
-        }
+        # The name-level origins live in the run's ProvenanceStore
+        # (explicit/ambient when installed, a fresh result-local one
+        # otherwise) so result.lineage() reads one source of truth and
+        # per-firing records — when recorded — share it.
+        prov = self.prov if self.prov is not None else ProvenanceStore()
+        for identifier, origins in self.provenance.items():
+            if identifier in output:
+                prov.add_origins(identifier, origins)
         self._flush_metrics(output, unconverted)
         return ConversionResult(
-            output, self.skolems, unconverted, self.warnings, provenance,
+            output, self.skolems, unconverted, self.warnings, prov,
             metrics=self.metrics,
         )
 
@@ -788,6 +833,10 @@ class _RunState:
         m.gauge(M_SKOLEM_SIZE).set(len(self.skolems))
         m.counter(M_MATCH_ROOT_MEMO_HITS).inc(self.match_ctx.root_memo_hits)
         m.counter(M_MATCH_COVERAGE_MEMO_HITS).inc(self.match_ctx.coverage_memo_hits)
+        if self.prov_firings:
+            m.counter(M_PROVENANCE_FIRINGS).inc(self.prov_firings)
+        if self.prov_records:
+            m.counter(M_PROVENANCE_RECORDS).inc(self.prov_records)
 
 
 # ---------------------------------------------------------------------------

@@ -131,6 +131,7 @@ class Program:
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
         parallel_safe_batches: Optional[int] = None,
+        provenance=None,
     ) -> ConversionResult:
         """Convert *data*, returning the output store.
 
@@ -144,6 +145,9 @@ class Program:
         root signature; disable it for ablation measurements.
         ``parallel_safe_batches`` splits top-level evaluation into that
         many independent input partitions (see :class:`Interpreter`).
+        ``provenance`` installs a :class:`~repro.obs.ProvenanceStore`
+        recording per-firing lineage (defaults to the ambient store
+        from :func:`repro.obs.tracing`, if one is installed).
         """
         if validate:
             self.validate()
@@ -157,6 +161,8 @@ class Program:
             target_functors=target_functors,
             use_dispatch_index=use_dispatch_index,
             parallel_safe_batches=parallel_safe_batches,
+            provenance=provenance,
+            program_name=self.name,
         )
         return interpreter.run(data)
 

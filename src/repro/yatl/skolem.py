@@ -72,6 +72,15 @@ class SkolemTable:
     def ids(self) -> List[str]:
         return list(self._keys)
 
+    def term_text(self, identifier: str) -> str:
+        """The Skolem term behind an identifier, rendered compactly
+        (``Psup('VW center')``) — what provenance records carry. Tree
+        arguments render as their root label only: this runs once per
+        recorded rule firing, so it must stay O(1) in the tree size."""
+        functor, args = self._keys[identifier]
+        rendered = ", ".join(_render_arg_brief(a) for a in args)
+        return f"{functor}({rendered})"
+
     def ids_of_functor(self, functor: str) -> List[str]:
         return [i for i, (f, _) in self._keys.items() if f == functor]
 
@@ -140,6 +149,15 @@ def _render_arg(value: SkolemValue) -> str:
     if isinstance(value, Tree):
         text = str(value).replace("\n", " ")
         return text if len(text) <= 30 else text[:27] + "..."
+    if isinstance(value, Ref):
+        return str(value)
+    return label_repr(value)
+
+
+def _render_arg_brief(value: SkolemValue) -> str:
+    if isinstance(value, Tree):
+        label = label_repr(value.label)
+        return f"{label}<...>" if value.children else label
     if isinstance(value, Ref):
         return str(value)
     return label_repr(value)

@@ -128,6 +128,7 @@ def explain(
         model=program._context_model(),
         hierarchy=program.hierarchy(),
         metrics=metrics,
+        program_name=program.name,
         **run_options,
     )
     result = interpreter.run(data)

@@ -80,5 +80,5 @@ def affected_outputs(
     return [
         identifier
         for identifier in result.store.names()
-        if result.provenance.get(identifier, set()) & changed
+        if result.lineage(identifier) & changed
     ]

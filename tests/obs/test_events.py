@@ -1,0 +1,78 @@
+"""The structured event log: ordering, timestamps, JSONL serialization."""
+
+import json
+
+from repro.obs import EventLog
+
+
+class TestEmit:
+    def test_emit_returns_the_stored_record(self):
+        log = EventLog()
+        event = log.emit("rule.fired", rule="Rule1", output="c1")
+        assert event["type"] == "rule.fired"
+        assert event["rule"] == "Rule1"
+        assert event["output"] == "c1"
+        assert log.events() == [event]
+
+    def test_seq_is_monotonic_from_one(self):
+        log = EventLog()
+        for _ in range(5):
+            log.emit("tick")
+        assert [e["seq"] for e in log] == [1, 2, 3, 4, 5]
+
+    def test_timestamps_are_monotonic(self):
+        log = EventLog()
+        for _ in range(3):
+            log.emit("tick")
+        stamps = [e["ts_us"] for e in log]
+        assert stamps == sorted(stamps)
+
+    def test_len_and_iter(self):
+        log = EventLog()
+        assert len(log) == 0
+        log.emit("a")
+        log.emit("b")
+        assert len(log) == 2
+        assert [e["type"] for e in log] == ["a", "b"]
+
+
+class TestFiltering:
+    def test_events_filters_by_type(self):
+        log = EventLog()
+        log.emit("rule.fired", rule="R1")
+        log.emit("merge.rename", output="x")
+        log.emit("rule.fired", rule="R2")
+        fired = log.events("rule.fired")
+        assert [e["rule"] for e in fired] == ["R1", "R2"]
+        assert log.events("merge.rename")[0]["output"] == "x"
+        assert log.events("nope") == []
+
+
+class TestSerialization:
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.emit("rule.fired", rule="R1", inputs=["a", "b"])
+        log.emit("rule.fired", rule="R2", inputs=[])
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["rule"] == "R1"
+        assert parsed[0]["inputs"] == ["a", "b"]
+        assert parsed[1]["seq"] == 2
+
+    def test_empty_log_serializes_to_empty_string(self):
+        assert EventLog().to_jsonl() == ""
+
+    def test_write_returns_the_count(self, tmp_path):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        path = tmp_path / "events.jsonl"
+        assert log.write(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["a", "b"]
+
+    def test_non_json_values_degrade_to_str(self):
+        log = EventLog()
+        log.emit("odd", payload={1, 2})  # a set is not JSON-serializable
+        json.loads(log.to_jsonl())  # must not raise

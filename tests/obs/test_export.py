@@ -52,6 +52,31 @@ class TestPrometheus:
         text = metrics_to_prometheus(registry)
         assert 'source="we\\"ird\\\\path"' in text
 
+    def test_label_escaping_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(source="two\nlines")
+        text = metrics_to_prometheus(registry)
+        assert 'source="two\\nlines"' in text
+        # The exposition must stay one sample per physical line.
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert sample_lines == ['c{source="two\\nlines"} 1']
+
+    def test_histogram_nonfinite_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1, 10))
+        histogram.observe(5)
+        histogram.observe(float("nan"))
+        histogram.observe(float("inf"))
+        text = metrics_to_prometheus(registry)
+        assert "\nh_count 1\n" in text
+        assert "\nh_sum 5\n" in text
+        assert "h_nonfinite 2" in text
+
+    def test_histogram_no_nonfinite_line_when_clean(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        assert "_nonfinite" not in metrics_to_prometheus(registry)
+
     def test_empty_registry(self):
         assert metrics_to_prometheus(MetricsRegistry()) == ""
 
@@ -78,12 +103,16 @@ class TestProfile:
         doc = chrome_trace(recorder)
         assert len(doc["traceEvents"]) == 2
         assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["trace_id"] == recorder.trace_id
 
     def test_profile_payload_combines_everything(self):
         registry, recorder = self._recorded()
         payload = profile_payload(registry, recorder, meta={"program": "P"})
         assert len(payload["traceEvents"]) == 2
-        assert payload["otherData"] == {"program": "P"}
+        assert payload["otherData"] == {
+            "trace_id": recorder.trace_id,
+            "program": "P",
+        }
         assert payload["metrics"]["c"]["series"][0]["value"] == 2
 
     def test_write_profile_roundtrips(self, tmp_path):

@@ -1,6 +1,8 @@
 """The metrics registry: counters, gauges, histograms, thread safety."""
 
+import asyncio
 import json
+import math
 import threading
 
 import pytest
@@ -100,6 +102,35 @@ class TestHistogram:
             (("rule", "A"),), (("rule", "B"),),
         }
 
+    def test_nonfinite_observations_are_quarantined(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 10))
+        histogram.observe(5)
+        for poison in (math.nan, math.inf, -math.inf):
+            histogram.observe(poison)
+        stats = histogram.stats()
+        # sum/count/buckets must stay exactly what the finite
+        # observation produced — one NaN would poison `sum` forever.
+        assert stats["count"] == 1
+        assert stats["sum"] == 5
+        assert stats["buckets"][10] == 1
+        assert stats["nonfinite"] == 3
+
+    def test_nonfinite_only_series_is_visible(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(math.nan, rule="R")
+        assert histogram.stats(rule="R") == {
+            "count": 0, "sum": 0.0, "buckets": {}, "nonfinite": 1,
+        }
+        assert histogram.label_keys() == [{"rule": "R"}]
+
+    def test_nonfinite_survives_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(math.inf)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise (no inf in the payload)
+        assert snapshot["h"]["series"][0]["nonfinite"] == 1
+        assert snapshot["h"]["series"][0]["count"] == 0
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
@@ -160,3 +191,78 @@ class TestAmbient:
         registry = MetricsRegistry()
         with collecting(registry):
             assert ambient_registry() is registry
+
+
+class TestAmbientIsolation:
+    """The ambient registry is a contextvar: each thread and each
+    asyncio task sees its own installation, never a neighbour's."""
+
+    def test_threads_do_not_inherit_the_installers_registry(self):
+        seen = []
+        with collecting(MetricsRegistry()):
+            worker = threading.Thread(
+                target=lambda: seen.append(ambient_registry())
+            )
+            worker.start()
+            worker.join()
+        # A fresh thread starts from an empty context.
+        assert seen == [None]
+
+    def test_per_thread_installations_are_independent(self):
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(name: str) -> None:
+            registry = MetricsRegistry()
+            with collecting(registry):
+                barrier.wait()  # every thread is inside its block now
+                record("hits", source=name)
+                barrier.wait()
+                if registry.value("hits", source=name) != 1:
+                    errors.append(f"{name}: own count wrong")
+                for other in ("a", "b", "c", "d"):
+                    if other != name and registry.value("hits", source=other):
+                        errors.append(f"{name}: saw {other}'s increments")
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in ("a", "b", "c", "d")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_asyncio_tasks_are_isolated(self):
+        async def task(name: str, results: dict) -> None:
+            registry = MetricsRegistry()
+            with collecting(registry):
+                # Yield control so the tasks interleave mid-block —
+                # the contextvar must follow each task, not the loop.
+                await asyncio.sleep(0)
+                record("hits", source=name)
+                await asyncio.sleep(0)
+                assert ambient_registry() is registry
+                results[name] = {
+                    other: registry.value("hits", source=other)
+                    for other in ("t1", "t2", "t3")
+                }
+
+        async def main() -> dict:
+            results: dict = {}
+            await asyncio.gather(*(task(n, results) for n in ("t1", "t2", "t3")))
+            return results
+
+        results = asyncio.run(main())
+        for name, counts in results.items():
+            assert counts[name] == 1
+            assert all(v == 0 for k, v in counts.items() if k != name)
+
+    def test_asyncio_task_does_not_leak_into_the_loop_runner(self):
+        async def install_and_exit() -> None:
+            with collecting(MetricsRegistry()):
+                await asyncio.sleep(0)
+
+        asyncio.run(install_and_exit())
+        assert ambient_registry() is None

@@ -124,6 +124,120 @@ class TestConvert:
         assert {"labels": {"rule": "Rule1"}, "value": 1} in applications
 
 
+class TestConvertEvents:
+    def test_events_writes_jsonl(self, sgml_file, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file, "--events", events]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "class -> car" in captured.out  # normal output untouched
+        assert f"event(s) written to {events}" in captured.err
+        with open(events) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines
+        assert all(event["type"] == "rule.fired" for event in lines)
+        sample = lines[0]
+        assert {"seq", "ts_us", "output", "rule", "inputs", "skolem"} <= set(
+            sample
+        )
+        assert sample["program"] == "SgmlBrochuresToOdmg"
+
+    def test_sample_rate_thins_the_log(self, sgml_file, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file,
+             "--events", events, "--sample-rate", "0"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "0/5 firing(s) recorded" in err
+        with open(events) as handle:
+            assert handle.read() == ""
+
+
+class TestOverwriteGuard:
+    def test_profile_refuses_to_overwrite(self, sgml_file, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        profile.write_text("precious")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file,
+             "--profile", str(profile)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "already exists" in err and "--force" in err
+        assert profile.read_text() == "precious"  # untouched
+
+    def test_events_refuses_to_overwrite(self, sgml_file, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text("precious")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file,
+             "--events", str(events)]
+        ) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert events.read_text() == "precious"
+
+    def test_force_overwrites(self, sgml_file, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        profile.write_text("old")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file,
+             "--profile", str(profile), "--force"]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(profile.read_text())["traceEvents"]
+
+
+class TestLineage:
+    def test_backward_chain_reaches_the_source(self, sgml_file, capsys):
+        assert main(
+            ["lineage", "SgmlBrochuresToOdmg", sgml_file, "--node", "c1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "c1" in out
+        assert "Rule2" in out
+        assert "source sgml" in out
+
+    def test_forward_lists_reached_outputs(self, sgml_file, capsys):
+        assert main(
+            ["lineage", "SgmlBrochuresToOdmg", sgml_file,
+             "--node", "d1", "--forward"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "d1 ->" in out
+        assert "c1" in out
+
+    def test_json_format(self, sgml_file, capsys):
+        assert main(
+            ["lineage", "SgmlBrochuresToOdmg", sgml_file,
+             "--node", "c1", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "SgmlBrochuresToOdmg"
+        node = payload["nodes"]["c1"]
+        assert node["backward"]
+        assert node["backward"][0]["rule"] == "Rule2"
+        assert "d1" in node["leaves"]
+        assert "d1" in node["origins"]
+
+    def test_dot_format(self, sgml_file, capsys):
+        assert main(
+            ["lineage", "SgmlBrochuresToOdmg", sgml_file,
+             "--node", "c1", "--format", "dot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph lineage {")
+        assert '"d1" -> "c1"' in out
+
+    def test_unknown_node_fails_and_lists_known(self, sgml_file, capsys):
+        assert main(
+            ["lineage", "SgmlBrochuresToOdmg", sgml_file, "--node", "zz"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "zz" in err
+        assert "c1" in err  # suggests the known nodes
+
+
 class TestStats:
     def test_text_format(self, sgml_file, capsys):
         assert main(["stats", "SgmlBrochuresToOdmg", sgml_file]) == 0
