@@ -1,0 +1,213 @@
+"""Threaded load driver for the `repro serve` daemon.
+
+Spins up an in-process :class:`repro.serve.MediatorServer` on an
+ephemeral port, hammers ``POST /convert/<program>`` from N concurrent
+keep-alive clients (default 8) while a scraper thread polls
+``/metrics`` and ``/stats`` the way Prometheus would, then
+cross-checks the server's own accounting against the client-side
+truth: every request sent must appear in ``serve.requests`` and the
+JSONL request log — zero dropped samples under concurrency.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_serve.py                   # 8 clients x 50 reqs
+    python benchmarks/bench_serve.py --quick           # CI smoke
+    python benchmarks/bench_serve.py --json BENCH_PR4.json
+
+Reports client-side throughput and latency percentiles alongside the
+server's streaming p50/p95/p99 estimates (the two should roughly
+agree — the streaming estimates interpolate within histogram buckets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import MediatorServer  # noqa: E402
+from repro.workloads import brochure_sgml  # noqa: E402
+
+PROGRAM = "SgmlBrochuresToOdmg"
+
+
+def percentile(sorted_values, quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(quantile * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def client_worker(host, port, payload, requests, latencies, statuses, lock):
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        for _ in range(requests):
+            start = time.perf_counter()
+            connection.request(
+                "POST", f"/convert/{PROGRAM}", body=payload,
+                headers={"Content-Type": "application/sgml"},
+            )
+            response = connection.getresponse()
+            response.read()
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            with lock:
+                latencies.append(elapsed_ms)
+                statuses[response.status] = statuses.get(response.status, 0) + 1
+    finally:
+        connection.close()
+
+
+def scraper_worker(host, port, stop, scrape_counts, lock):
+    """Poll /metrics and /stats like a monitoring stack would."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        while not stop.is_set():
+            for path in ("/metrics", "/stats"):
+                connection.request("GET", path)
+                response = connection.getresponse()
+                response.read()
+                with lock:
+                    scrape_counts[path] = scrape_counts.get(path, 0) + 1
+            stop.wait(0.05)
+    finally:
+        connection.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per client (default 50)")
+    parser.add_argument("--brochures", type=int, default=6,
+                        help="brochures per request payload (default 6)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (8 clients x 10 requests)")
+    parser.add_argument("--json", metavar="FILE", dest="json_path",
+                        help="write the report to FILE as JSON")
+    parser.add_argument("--max-p95-ms", type=float, default=None,
+                        metavar="MS",
+                        help="fail when client-side p95 exceeds MS")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.requests, args.brochures = 10, 3
+    if args.clients < 1 or args.requests < 1:
+        parser.error("--clients/--requests must be >= 1")
+
+    payload = brochure_sgml(args.brochures, distinct_suppliers=4).encode()
+    server = MediatorServer(port=0, warm=False)
+    server.warm_now()
+    total = args.clients * args.requests
+    latencies, statuses, scrape_counts = [], {}, {}
+    lock = threading.Lock()
+    stop_scraper = threading.Event()
+    exit_code = 0
+
+    with server:
+        print(
+            f"repro serve on :{server.port} — {args.clients} clients x "
+            f"{args.requests} requests, {args.brochures} brochure(s)/payload "
+            f"({len(payload)} bytes)"
+        )
+        scraper = threading.Thread(
+            target=scraper_worker,
+            args=(server.host, server.port, stop_scraper, scrape_counts, lock),
+        )
+        workers = [
+            threading.Thread(
+                target=client_worker,
+                args=(server.host, server.port, payload, args.requests,
+                      latencies, statuses, lock),
+            )
+            for _ in range(args.clients)
+        ]
+        scraper.start()
+        wall_start = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall_s = time.perf_counter() - wall_start
+        stop_scraper.set()
+        scraper.join()
+
+        served = server.registry.counter("serve.requests").total()
+        logged = len(server.request_log)
+        latency = server.registry.histogram("serve.latency_ms")
+        server_stats = latency.stats(program=PROGRAM)
+
+    latencies.sort()
+    throughput = total / wall_s if wall_s else float("inf")
+    report = {
+        "benchmark": "serve",
+        "scenario": {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "total_requests": total,
+            "payload_bytes": len(payload),
+            "program": PROGRAM,
+        },
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(throughput, 1),
+        "client_latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p95": round(percentile(latencies, 0.95), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+        "server_latency_ms": {
+            "count": server_stats["count"],
+            "p50": server_stats["p50"],
+            "p95": server_stats["p95"],
+            "p99": server_stats["p99"],
+        },
+        "statuses": statuses,
+        "scrapes": scrape_counts,
+        "metric_samples": {"serve_requests": served, "request_log": logged},
+    }
+
+    print(f"  wall       : {wall_s * 1000:9.1f} ms "
+          f"({throughput:.1f} req/s, {args.clients} concurrent)")
+    print(f"  client p50 : {report['client_latency_ms']['p50']:9.2f} ms")
+    print(f"  client p95 : {report['client_latency_ms']['p95']:9.2f} ms")
+    print(f"  server p95 : {server_stats['p95'] or 0:9.2f} ms (streaming estimate)")
+    print(f"  scrapes    : {sum(scrape_counts.values())} during load")
+
+    non_ok = {s: n for s, n in statuses.items() if s != 200}
+    if non_ok:
+        print(f"FAIL: non-200 responses under load: {non_ok}")
+        exit_code = 1
+    if served != total or logged != total:
+        print(
+            f"FAIL: dropped samples — sent {total}, serve.requests={served}, "
+            f"request log={logged}"
+        )
+        exit_code = 1
+    else:
+        print(f"  samples    : {total} sent == {served:g} counted == "
+              f"{logged} logged (zero dropped)")
+    if args.max_p95_ms is not None and \
+            report["client_latency_ms"]["p95"] > args.max_p95_ms:
+        print(
+            f"FAIL: client p95 {report['client_latency_ms']['p95']:.2f} ms "
+            f"exceeds the {args.max_p95_ms:.2f} ms budget"
+        )
+        exit_code = 1
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  json       : {args.json_path}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

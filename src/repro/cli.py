@@ -15,6 +15,8 @@ Usage::
     python -m repro convert O2Web data.sgml --profile profile.json
     python -m repro stats SgmlBrochuresToOdmg brochures.sgml --format prometheus
     python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
+    python -m repro serve --port 8023                  # long-running daemon
+    python -m repro top http://127.0.0.1:8023          # live dashboard
 
 Programs are named library programs or ``.yatl`` files; input documents
 are SGML files (one or several documents per file). ``--profile``
@@ -32,7 +34,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from contextlib import nullcontext
 from typing import List, Optional
 
@@ -305,12 +309,75 @@ def cmd_stats(args, library: Library) -> int:
                 if metric.kind == "histogram":
                     stats = metric.stats(**labels)
                     text = f"count={stats['count']:g} sum={stats['sum']:.6f}"
+                    if stats["p50"] is not None:
+                        text += (
+                            f" p50={stats['p50']:.6g} p95={stats['p95']:.6g}"
+                            f" p99={stats['p99']:.6g}"
+                        )
                 elif value == int(value):
                     text = f"{int(value)}"
                 else:
                     text = f"{value:g}"
                 print(f"  {metric.name}{suffix} = {text}")
     return 0
+
+
+def cmd_serve(args, library: Library) -> int:
+    """Run the mediator as a long-lived daemon (see repro.serve)."""
+    from .serve import MediatorServer
+    from .system import YatSystem
+
+    server = MediatorServer(
+        host=args.host,
+        port=args.port,
+        system=YatSystem(library=library),
+        request_log_path=args.request_log,
+        event_log_path=args.event_log,
+        trace_capacity=args.trace_capacity,
+        warm=not args.no_warm,
+        allow_test_delay=args.debug_delay,
+    )
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop_requested.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    server.start()
+    print(
+        f"repro serve listening on http://{server.host}:{server.port} "
+        f"(endpoints: POST /convert/<program>, GET /metrics /healthz "
+        f"/readyz /stats /trace/<id>)",
+        file=sys.stderr,
+    )
+    try:
+        stop_requested.wait()
+        print("shutting down: draining in-flight requests...",
+              file=sys.stderr)
+        server.stop()
+        print(
+            f"served {len(server.request_log)} request(s); logs flushed",
+            file=sys.stderr,
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 0
+
+
+def cmd_top(args, library: Library) -> int:
+    """The live terminal dashboard over a running daemon's /stats."""
+    from .serve import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def cmd_pipeline(args, library: Library) -> int:
@@ -407,6 +474,41 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("inputs", nargs="+", help="SGML input file(s)")
     pipeline.add_argument("-o", "--output", metavar="DIR")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the mediator as an HTTP daemon with a live "
+             "telemetry plane (/metrics, /healthz, /readyz, /stats, "
+             "/trace/<id>)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--request-log", metavar="FILE",
+                       help="append one JSONL record per request to FILE")
+    serve.add_argument("--event-log", metavar="FILE",
+                       help="write the server lifecycle event log (JSONL) "
+                            "to FILE on shutdown")
+    serve.add_argument("--trace-capacity", type=int, default=64,
+                       metavar="N",
+                       help="recent request traces retained for "
+                            "/trace/<id> (default 64)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip program-library warmup (readyz stays 503)")
+    serve.add_argument("--debug-delay", action="store_true",
+                       help=argparse.SUPPRESS)  # honor ?delay_ms= (tests)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running `repro serve` daemon"
+    )
+    top.add_argument("url", nargs="?", default="http://127.0.0.1:8023",
+                     help="daemon base URL (default http://127.0.0.1:8023)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between /stats polls (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: until ^C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+
     return parser
 
 
@@ -423,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lineage": cmd_lineage,
         "stats": cmd_stats,
         "pipeline": cmd_pipeline,
+        "serve": cmd_serve,
+        "top": cmd_top,
     }
     try:
         return handlers[args.command](args, library)

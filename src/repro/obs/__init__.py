@@ -33,6 +33,8 @@ entry with no recorder installed is a single ``ContextVar.get``.
 """
 
 from .metrics import (
+    LATENCY_MS_BUCKETS,
+    QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -68,6 +70,8 @@ from .provenance import (
 )
 
 __all__ = [
+    "LATENCY_MS_BUCKETS",
+    "QUANTILES",
     "Counter",
     "Gauge",
     "Histogram",

@@ -14,7 +14,7 @@ import math
 import re
 from typing import Dict, List, Optional
 
-from .metrics import Histogram, MetricsRegistry
+from .metrics import QUANTILES, Histogram, MetricsRegistry
 from .spans import SpanRecorder
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -31,7 +31,10 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
 
     Metric names are sanitized (``yatl.rule.applications`` →
     ``yatl_rule_applications``); histograms expose the conventional
-    ``_bucket``/``_sum``/``_count`` series.
+    ``_bucket``/``_sum``/``_count`` series plus a companion
+    ``<name>_quantile`` gauge family carrying the streaming p50/p95/p99
+    estimates (summary-style ``quantile`` label), so latency tails are
+    scrapeable without server-side PromQL.
     """
     lines: List[str] = []
     for metric in sorted(registry, key=lambda m: m.name):
@@ -40,6 +43,7 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# HELP {name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, Histogram):
+            quantile_lines: List[str] = []
             for labels in metric.label_keys():
                 stats = metric.stats(**labels)
                 for bound, count in stats["buckets"].items():  # type: ignore[union-attr]
@@ -55,6 +59,19 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
                     lines.append(
                         f"{name}_nonfinite{_label_text(labels)} {_num(nonfinite)}"
                     )
+                for quantile in QUANTILES:
+                    estimate = stats.get(f"p{int(quantile * 100)}")
+                    if estimate is None:
+                        continue
+                    q_labels = dict(labels)
+                    q_labels["quantile"] = _bound_text(quantile)
+                    quantile_lines.append(
+                        f"{name}_quantile{_label_text(q_labels)} "
+                        f"{_num(round(float(estimate), 6))}"
+                    )
+            if quantile_lines:
+                lines.append(f"# TYPE {name}_quantile gauge")
+                lines.extend(quantile_lines)
         else:
             for labels, value in metric.samples():
                 lines.append(f"{name}{_label_text(labels)} {_num(value)}")

@@ -36,6 +36,15 @@ TIME_BUCKETS: Tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, math.inf,
 )
 
+#: Buckets for request latencies, in milliseconds (serving paths).
+LATENCY_MS_BUCKETS: Tuple[float, ...] = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+    1000, 2500, 5000, 10000, math.inf,
+)
+
+#: The streaming percentiles every histogram estimates (p50/p95/p99).
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     if not labels:
@@ -151,20 +160,41 @@ class Histogram(Metric):
 
     def stats(self, **labels: object) -> Dict[str, object]:
         """``{"count", "sum", "buckets": {le: cumulative_count},
-        "nonfinite": quarantined_observations}``."""
+        "p50"/"p95"/"p99": streaming percentile estimates (None when
+        empty), "nonfinite": quarantined_observations}``."""
         key = _label_key(labels)
         with self._lock:
             nonfinite = self._nonfinite.get(key, 0)
             series = self._series.get(key)
             if series is None:
                 return {"count": 0, "sum": 0.0, "buckets": {},
+                        "p50": None, "p95": None, "p99": None,
                         "nonfinite": nonfinite}
             cumulative, running = {}, 0.0
             for index, bound in enumerate(self.buckets):
                 running += series[index]
                 cumulative[bound] = running
-            return {"count": series[-1], "sum": series[-2],
-                    "buckets": cumulative, "nonfinite": nonfinite}
+            stats: Dict[str, object] = {
+                "count": series[-1], "sum": series[-2],
+                "buckets": cumulative,
+            }
+            for quantile in QUANTILES:
+                label = f"p{int(quantile * 100)}"
+                stats[label] = _estimate_quantile(self.buckets, series, quantile)
+            stats["nonfinite"] = nonfinite
+            return stats
+
+    def percentile(self, quantile: float, **labels: object) -> Optional[float]:
+        """A streaming percentile estimate (``quantile`` in (0, 1]),
+        linearly interpolated inside the landing bucket — the same
+        estimate PromQL's ``histogram_quantile`` computes from the
+        exposed buckets. ``None`` for an empty series."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return None
+            return _estimate_quantile(self.buckets, series, quantile)
 
     def label_keys(self) -> List[Dict[str, str]]:
         with self._lock:
@@ -262,6 +292,32 @@ class MetricsRegistry:
         return f"MetricsRegistry({len(self._metrics)} metric(s))"
 
 
+def _estimate_quantile(
+    bounds: Sequence[float], series: List[float], quantile: float
+) -> Optional[float]:
+    """Interpolate a quantile from per-bucket counts (caller holds the
+    lock). Observations are assumed uniform inside their bucket; a
+    quantile landing in the ``+inf`` bucket reports the highest finite
+    bound — both are the ``histogram_quantile`` conventions."""
+    count = series[-1]
+    if count <= 0:
+        return None
+    rank = quantile * count
+    cumulative = 0.0
+    lower = 0.0
+    for index, bound in enumerate(bounds):
+        bucket_count = series[index]
+        if bucket_count > 0 and cumulative + bucket_count >= rank:
+            if bound == math.inf:
+                return lower
+            fraction = (rank - cumulative) / bucket_count
+            return lower + (bound - lower) * fraction
+        cumulative += bucket_count
+        if bound != math.inf:
+            lower = bound
+    return lower
+
+
 def _histogram_json(stats: Dict[str, object]) -> Dict[str, object]:
     buckets = {
         ("+Inf" if bound == math.inf else repr(bound)): count
@@ -270,6 +326,9 @@ def _histogram_json(stats: Dict[str, object]) -> Dict[str, object]:
     return {
         "count": stats["count"],
         "sum": stats["sum"],
+        "p50": stats.get("p50"),
+        "p95": stats.get("p95"),
+        "p99": stats.get("p99"),
         "nonfinite": stats.get("nonfinite", 0),
         "buckets": buckets,
     }

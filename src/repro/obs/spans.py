@@ -83,14 +83,17 @@ class Span:
 class SpanRecorder:
     """Collects finished spans for one profiled run (thread-safe)."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._next_id = 1
         #: Stable identifier for this recording, embedded in the
         #: Chrome-trace export and stamped on provenance events so the
-        #: two artifacts can be joined.
-        self.trace_id = f"trace-{os.getpid()}-{next(_TRACE_IDS)}"
+        #: two artifacts can be joined. Pass one in to honor an
+        #: externally propagated id (e.g. an ``X-Trace-Id`` header).
+        self.trace_id = (
+            trace_id if trace_id else f"trace-{os.getpid()}-{next(_TRACE_IDS)}"
+        )
 
     def allocate_id(self) -> int:
         with self._lock:

@@ -1,0 +1,500 @@
+"""The mediator daemon: conversion over HTTP plus a live telemetry plane.
+
+Real mediation architectures are long-running services queried by
+clients, not one-shot CLIs. :class:`MediatorServer` wraps a shared
+:class:`~repro.system.YatSystem` in a stdlib ``ThreadingHTTPServer``
+(no dependencies) and exposes:
+
+===========================  ==============================================
+``POST /convert/<program>``  run a library conversion program over the
+                             SGML payload; responds with JSON counts and
+                             the request's trace id
+``GET /metrics``             Prometheus text exposition of the shared
+                             registry (RED serving metrics + pipeline
+                             internals)
+``GET /healthz``             liveness — 200 while the process serves,
+                             503 once draining
+``GET /readyz``              readiness — 200 only after the program
+                             library is loaded and warmed
+``GET /stats``               JSON snapshot: server state, per-program
+                             request/latency/error tables, request-log
+                             tail, full metric snapshot (what ``repro
+                             top`` polls)
+``GET /trace/<trace_id>``    the span tree + provenance join of one
+                             recent request
+===========================  ==============================================
+
+Every request gets a trace id (honoring an inbound ``X-Trace-Id``
+header), a per-request span tree and provenance store retained in a
+bounded :class:`~repro.serve.telemetry.TraceStore`, one JSONL
+request-log entry, and observations into the RED metrics
+``serve.requests`` / ``serve.errors`` / ``serve.latency_ms``
+(per-program labels). Shutdown is graceful: stop accepting, drain
+in-flight requests, flush the event and request logs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from .. import __version__
+from ..errors import YatError
+from ..obs import (
+    LATENCY_MS_BUCKETS,
+    EventLog,
+    ProvenanceStore,
+    SpanRecorder,
+    collecting,
+    metrics_to_prometheus,
+    recording,
+    span,
+    tracing,
+)
+from ..sgml.parser import parse_sgml_many
+from ..system import YatSystem
+from ..wrappers.html import HtmlExportWrapper
+from ..wrappers.sgml import SgmlImportWrapper
+from .telemetry import RequestLog, TraceStore, clean_trace_id, trace_payload
+
+#: Largest accepted /convert payload (64 MiB) — a backstop against a
+#: runaway Content-Length allocating unbounded memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Httpd(ThreadingHTTPServer):
+    """Threading HTTP server that drains: handler threads are
+    non-daemon and joined by ``server_close()``, so graceful shutdown
+    never abandons an in-flight conversion."""
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, mediator: "MediatorServer") -> None:
+        self.mediator = mediator
+        super().__init__(address, handler)
+
+
+class MediatorServer:
+    """A running (or startable) mediator daemon.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after construction). The server shares one ``YatSystem`` — and
+    therefore one metrics registry — across every request, so
+    ``/metrics`` aggregates the whole process lifetime.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        system: Optional[YatSystem] = None,
+        request_log_path: Optional[str] = None,
+        event_log_path: Optional[str] = None,
+        trace_capacity: int = 64,
+        warm_programs: Optional[Sequence[str]] = None,
+        warm: bool = True,
+        allow_test_delay: bool = False,
+    ) -> None:
+        self.system = system if system is not None else YatSystem()
+        self.registry = self.system.metrics
+        self.request_log = RequestLog(request_log_path)
+        self.traces = TraceStore(trace_capacity)
+        self.events = EventLog()
+        self.event_log_path = event_log_path
+        self.allow_test_delay = allow_test_delay
+        self._warm = warm
+        self._warm_programs = warm_programs
+        self._ready = threading.Event()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._started_monotonic: Optional[float] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._warm_thread: Optional[threading.Thread] = None
+        self._httpd = _Httpd((host, port), _Handler, self)
+        self.host, self.port = self._httpd.server_address[:2]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self._draining.is_set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def uptime_s(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def warm_now(self) -> None:
+        """Load + parse the serving programs, then flip readiness."""
+        warmed = self.system.warm(self._warm_programs)
+        self.events.emit("server.ready", programs=len(warmed))
+        self._ready.set()
+
+    def start(self) -> "MediatorServer":
+        """Serve in a background thread; warmup runs concurrently and
+        flips ``/readyz`` when the program library is parsed."""
+        self._started_monotonic = time.monotonic()
+        self.events.emit("server.started", host=self.host, port=self.port)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-serve-{self.port}",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if self._warm:
+            self._warm_thread = threading.Thread(
+                target=self._safe_warm, name="repro-serve-warmup", daemon=True
+            )
+            self._warm_thread.start()
+        return self
+
+    def _safe_warm(self) -> None:
+        try:
+            self.warm_now()
+        except Exception as exc:  # library corruption must not kill serving
+            self.events.emit("server.warmup_failed", error=str(exc))
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests,
+        flush the event + request logs. Safe to call more than once."""
+        if self._stopped.is_set():
+            return
+        self._draining.set()
+        self.events.emit("server.draining")
+        self._httpd.shutdown()  # stop the accept loop
+        self._httpd.server_close()  # joins in-flight handler threads
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+        self._stopped.set()
+        self.events.emit(
+            "server.stopped",
+            requests=len(self.request_log),
+            uptime_s=round(self.uptime_s(), 3),
+        )
+        if self.event_log_path:
+            self.events.write(self.event_log_path)
+        self.request_log.close()
+
+    def __enter__(self) -> "MediatorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The ``GET /stats`` document (also usable in-process)."""
+        requests = self.registry.counter(
+            "serve.requests", "conversion requests served"
+        )
+        errors = self.registry.counter("serve.errors", "failed requests")
+        latency = self.registry.histogram(
+            "serve.latency_ms", "request latency (ms)",
+            buckets=LATENCY_MS_BUCKETS,
+        )
+        programs: Dict[str, Dict[str, object]] = {}
+        for labels, value in requests.samples():
+            program = labels.get("program", "?")
+            entry = programs.setdefault(
+                program, {"requests": 0.0, "errors": 0.0}
+            )
+            entry["requests"] += value
+        for labels, value in errors.samples():
+            program = labels.get("program", "?")
+            entry = programs.setdefault(
+                program, {"requests": 0.0, "errors": 0.0}
+            )
+            entry["errors"] += value
+        for program, entry in programs.items():
+            stats = latency.stats(program=program)
+            entry["latency_ms"] = {
+                "count": stats["count"],
+                "sum": round(float(stats["sum"]), 3),
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "p99": stats["p99"],
+            }
+        return {
+            "server": {
+                "version": __version__,
+                "host": self.host,
+                "port": self.port,
+                "uptime_s": round(self.uptime_s(), 3),
+                "ready": self.ready,
+                "draining": self.draining,
+                "inflight": self.registry.value("serve.inflight"),
+                "requests_total": requests.total(),
+                "errors_total": errors.total(),
+                "programs": self.system.library.program_names(),
+                "traces_retained": len(self.traces),
+            },
+            "programs": programs,
+            "requests": self.request_log.tail(20),
+            "metrics": self.registry.snapshot(),
+        }
+
+    # -- the conversion path ------------------------------------------------
+
+    def convert(
+        self,
+        program_name: str,
+        body: str,
+        trace_id: Optional[str] = None,
+        to: str = "trees",
+        include_output: bool = False,
+        delay_ms: float = 0.0,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Run one conversion request; returns ``(status, payload)``.
+
+        All request telemetry happens here — the HTTP handler is a thin
+        parse/serialize shell around this method, which keeps the whole
+        path unit-testable without sockets.
+        """
+        trace_id = clean_trace_id(trace_id)
+        recorder = SpanRecorder(trace_id=trace_id)
+        provenance = ProvenanceStore()
+        inflight = self.registry.gauge(
+            "serve.inflight", "requests currently executing"
+        )
+        inflight.inc()
+        start = time.perf_counter()
+        status, payload, counts = 500, {}, {}
+        try:
+            with collecting(self.registry), recording(recorder), \
+                    tracing(provenance):
+                with span("serve.request", category="serve",
+                          program=program_name, trace_id=trace_id):
+                    status, payload, counts = self._execute(
+                        program_name, body, to, include_output, delay_ms
+                    )
+        except YatError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # never kill a handler thread
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            inflight.dec()
+            self._account(
+                program_name, trace_id, status, latency_ms, payload, counts,
+                recorder, provenance,
+            )
+        payload.setdefault("trace_id", trace_id)
+        payload["latency_ms"] = round(latency_ms, 3)
+        return status, payload
+
+    def _execute(
+        self, program_name: str, body: str, to: str,
+        include_output: bool, delay_ms: float,
+    ) -> Tuple[int, Dict[str, object], Dict[str, object]]:
+        try:
+            program = self.system.load_program_cached(program_name)
+        except YatError as exc:
+            return 404, {"error": str(exc)}, {}
+        if delay_ms and self.allow_test_delay:
+            # Test/bench hook: hold the request open (graceful-shutdown
+            # and drain tests need a deterministically slow request).
+            with span("serve.test_delay", category="serve", ms=delay_ms):
+                time.sleep(delay_ms / 1000.0)
+        with span("serve.parse", category="serve"):
+            documents = parse_sgml_many(body)
+            store = SgmlImportWrapper().to_store(documents)
+        result = self.system.run(program, store)
+        counts = {
+            "input_trees": len(store),
+            "output_trees": len(result.store),
+            "unconverted": len(result.unconverted),
+            "warnings": len(result.warnings),
+        }
+        payload: Dict[str, object] = {"program": program_name, **counts}
+        if result.warnings:
+            payload["warning_messages"] = list(result.warnings)
+        if include_output:
+            with span("serve.render", category="serve", to=to):
+                if to == "html":
+                    payload["output"] = HtmlExportWrapper().export_result(result)
+                else:
+                    payload["output"] = {
+                        name: str(node) for name, node in result.store
+                    }
+        return 200, payload, counts
+
+    def _account(
+        self, program_name, trace_id, status, latency_ms, payload, counts,
+        recorder, provenance,
+    ) -> None:
+        self.registry.counter(
+            "serve.requests", "conversion requests served"
+        ).inc(program=program_name, status=str(status))
+        if status >= 400:
+            self.registry.counter("serve.errors", "failed requests").inc(
+                program=program_name, status=str(status)
+            )
+        self.registry.histogram(
+            "serve.latency_ms", "request latency (ms)",
+            buckets=LATENCY_MS_BUCKETS,
+        ).observe(latency_ms, program=program_name)
+        entry = {
+            "trace_id": trace_id,
+            "program": program_name,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "input_trees": counts.get("input_trees", 0),
+            "output_trees": counts.get("output_trees", 0),
+            "unconverted": counts.get("unconverted", 0),
+            "warnings": counts.get("warnings", 0),
+        }
+        if "error" in payload:
+            entry["error"] = payload["error"]
+        logged = self.request_log.append(**entry)
+        self.traces.put(
+            trace_id, trace_payload(trace_id, recorder, provenance, logged)
+        )
+
+
+# ---------------------------------------------------------------------------
+# HTTP shell
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    @property
+    def mediator(self) -> MediatorServer:
+        return self.server.mediator  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the JSONL request log replaces stderr chatter
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra_headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to salvage
+
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8",
+                   extra_headers)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        self._send(status, text.encode("utf-8"), content_type)
+
+    def _hit(self, route: str) -> None:
+        self.mediator.registry.counter(
+            "serve.http.requests", "HTTP requests by route"
+        ).inc(route=route)
+
+    # -- GET: the observability plane --------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        mediator = self.mediator
+        if path == "/healthz":
+            self._hit("healthz")
+            if mediator.draining:
+                self._send_text(503, "draining\n")
+            else:
+                self._send_text(200, "ok\n")
+        elif path == "/readyz":
+            self._hit("readyz")
+            if mediator.ready:
+                self._send_text(200, "ready\n")
+            elif mediator.draining:
+                self._send_text(503, "draining\n")
+            else:
+                self._send_text(503, "warming\n")
+        elif path == "/metrics":
+            self._hit("metrics")
+            self._send_text(
+                200,
+                metrics_to_prometheus(mediator.registry),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+        elif path == "/stats":
+            self._hit("stats")
+            self._send_json(200, mediator.stats())
+        elif path.startswith("/trace/"):
+            self._hit("trace")
+            trace_id = unquote(path[len("/trace/"):])
+            payload = mediator.traces.get(trace_id)
+            if payload is None:
+                self._send_json(404, {
+                    "error": f"unknown trace id {trace_id!r}",
+                    "retained": mediator.traces.ids(),
+                })
+            else:
+                self._send_json(200, payload)
+        else:
+            self._hit("unknown")
+            self._send_json(404, {
+                "error": f"no such endpoint {path!r}",
+                "endpoints": ["/convert/<program> (POST)", "/metrics",
+                              "/healthz", "/readyz", "/stats",
+                              "/trace/<trace_id>"],
+            })
+
+    # -- POST: the conversion path -----------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/")
+        if not path.startswith("/convert/"):
+            self._hit("unknown")
+            self._send_json(404, {"error": f"no such endpoint {path!r}"})
+            return
+        self._hit("convert")
+        program_name = unquote(path[len("/convert/"):])
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_json(411, {"error": "Content-Length required"})
+            return
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(413, {
+                "error": f"payload over {MAX_BODY_BYTES} bytes"
+            })
+            return
+        try:
+            body = self.rfile.read(length).decode("utf-8")
+        except UnicodeDecodeError:
+            self._send_json(400, {"error": "payload must be UTF-8 SGML text"})
+            return
+        query = parse_qs(parsed.query)
+        status, payload = self.mediator.convert(
+            program_name,
+            body,
+            trace_id=self.headers.get("X-Trace-Id"),
+            to=query.get("to", ["trees"])[0],
+            include_output="output" in query.get("include", []),
+            delay_ms=float(query.get("delay_ms", ["0"])[0] or 0),
+        )
+        self._send_json(
+            status, payload, {"X-Trace-Id": str(payload.get("trace_id", ""))}
+        )

@@ -1,0 +1,142 @@
+"""``repro top`` — a curses-free live dashboard over ``GET /stats``.
+
+Polls a running ``repro serve`` daemon and redraws per-program
+request-rate / latency / error tables using plain ANSI escapes (no
+curses, no dependencies), so it works in any terminal and its renderer
+is unit-testable as a pure string function.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, TextIO
+
+CLEAR = "\x1b[2J\x1b[H"
+
+_TABLE_HEADER = (
+    f"{'PROGRAM':<28} {'REQS':>8} {'REQ/S':>8} {'ERR':>6} "
+    f"{'P50MS':>8} {'P95MS':>8} {'P99MS':>8}"
+)
+
+
+def fetch_stats(url: str, timeout: float = 5.0) -> Dict[str, object]:
+    """One ``/stats`` poll, parsed."""
+    with urllib.request.urlopen(url.rstrip("/") + "/stats",
+                                timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{float(value):.1f}"
+
+
+def _rate(
+    program: str,
+    now_requests: float,
+    previous: Optional[Dict[str, object]],
+    dt: float,
+) -> str:
+    """Requests/second since the previous poll; ``-`` on the first."""
+    if previous is None or dt <= 0:
+        return "-"
+    before = previous.get("programs", {}).get(program, {})
+    delta = now_requests - float(before.get("requests", 0))
+    return f"{max(0.0, delta) / dt:.1f}"
+
+
+def render(
+    stats: Dict[str, object],
+    url: str,
+    previous: Optional[Dict[str, object]] = None,
+    dt: float = 0.0,
+) -> str:
+    """The full dashboard frame for one ``/stats`` payload."""
+    server = stats.get("server", {})
+    requests_total = float(server.get("requests_total", 0))
+    errors_total = float(server.get("errors_total", 0))
+    error_pct = (errors_total / requests_total * 100) if requests_total else 0.0
+    state = "ready" if server.get("ready") else (
+        "draining" if server.get("draining") else "warming"
+    )
+    lines = [
+        f"repro top — {url}  up {float(server.get('uptime_s', 0)):.1f}s  "
+        f"{state}  inflight {int(float(server.get('inflight', 0)))}",
+        f"requests {int(requests_total)}   "
+        f"errors {int(errors_total)} ({error_pct:.1f}%)   "
+        f"traces retained {int(server.get('traces_retained', 0))}",
+        "",
+        _TABLE_HEADER,
+    ]
+    programs: Dict[str, Dict[str, object]] = stats.get("programs", {})
+    if not programs:
+        lines.append("  (no conversion requests yet)")
+    for program in sorted(programs):
+        entry = programs[program]
+        latency = entry.get("latency_ms", {})
+        requests = float(entry.get("requests", 0))
+        lines.append(
+            f"{program[:28]:<28} {int(requests):>8} "
+            f"{_rate(program, requests, previous, dt):>8} "
+            f"{int(float(entry.get('errors', 0))):>6} "
+            f"{_ms(latency.get('p50')):>8} "
+            f"{_ms(latency.get('p95')):>8} "
+            f"{_ms(latency.get('p99')):>8}"
+        )
+    tail = stats.get("requests", [])
+    if tail:
+        lines.append("")
+        lines.append("recent requests:")
+        for entry in tail[-5:]:
+            lines.append(
+                f"  {entry.get('status', '?'):>3} "
+                f"{str(entry.get('program', '?')):<28} "
+                f"{float(entry.get('latency_ms', 0)):>8.1f}ms  "
+                f"trace {entry.get('trace_id', '?')}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Poll + redraw until interrupted (or for ``iterations`` frames).
+
+    Returns 0 on a clean exit, 1 when the daemon was never reachable.
+    """
+    out = out if out is not None else sys.stdout
+    previous: Optional[Dict[str, object]] = None
+    previous_at = 0.0
+    frames = 0
+    reached = False
+    try:
+        while iterations is None or frames < iterations:
+            now = time.monotonic()
+            try:
+                stats = fetch_stats(url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                if clear:
+                    out.write(CLEAR)
+                out.write(f"repro top — {url}: unreachable ({exc})\n")
+                out.flush()
+            else:
+                reached = True
+                if clear:
+                    out.write(CLEAR)
+                out.write(render(stats, url, previous, now - previous_at))
+                out.flush()
+                previous, previous_at = stats, now
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0 if reached else 1

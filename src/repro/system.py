@@ -15,8 +15,9 @@ scenario: relational + SGML sources → ODMG objects → HTML pages.
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from .core.models import Model
 from .core.patterns import Pattern
@@ -68,6 +69,11 @@ class YatSystem:
         self.library = library if library is not None else standard_library()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.provenance = provenance
+        # Parsed-program cache: a long-running server converts with the
+        # same few programs thousands of times; parsing them once per
+        # request would dominate small-payload latency.
+        self._program_cache: Dict[str, Program] = {}
+        self._program_cache_lock = threading.Lock()
 
     def _tracing(self):
         """The ambient-provenance context for run-time operations: a
@@ -84,6 +90,38 @@ class YatSystem:
     def import_program(self, name: str) -> Program:
         """Import a conversion program from the library."""
         return self.library.load_program(name)
+
+    def load_program_cached(self, name: str) -> Program:
+        """Import a library program through the system's thread-safe
+        parse cache (the serving hot path). Cache accounting lands in
+        ``system.programs.cache_hits`` / ``.cache_misses``."""
+        with self._program_cache_lock:
+            program = self._program_cache.get(name)
+        if program is not None:
+            self.metrics.counter(
+                "system.programs.cache_hits", "program-cache hits"
+            ).inc(program=name)
+            return program
+        program = self.library.load_program(name)
+        self.metrics.counter(
+            "system.programs.cache_misses", "program-cache misses (parses)"
+        ).inc(program=name)
+        with self._program_cache_lock:
+            # A concurrent loader may have won the race; keep the first
+            # entry so every request sees one identical Program object.
+            return self._program_cache.setdefault(name, program)
+
+    def warm(self, names: Optional[Sequence[str]] = None) -> List[str]:
+        """Preload library programs into the parse cache (readiness
+        warmup for :mod:`repro.serve`). Defaults to every program in
+        the library; returns the warmed names."""
+        warmed = list(names) if names is not None else self.library.program_names()
+        for name in warmed:
+            self.load_program_cached(name)
+        self.metrics.gauge(
+            "system.programs.warmed", "programs preloaded into the cache"
+        ).set(len(warmed))
+        return warmed
 
     def save_program(self, program: Program) -> str:
         return self.library.save_program(program)

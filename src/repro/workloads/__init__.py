@@ -2,6 +2,7 @@
 
 from .generators import (
     brochure_elements,
+    brochure_sgml,
     brochure_trees,
     car_object_store,
     dealer_database,
@@ -12,6 +13,7 @@ from .generators import (
 
 __all__ = [
     "brochure_elements",
+    "brochure_sgml",
     "brochure_trees",
     "car_object_store",
     "dealer_database",

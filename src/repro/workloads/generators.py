@@ -84,6 +84,26 @@ def brochure_elements(
     return documents
 
 
+def brochure_sgml(
+    count: int,
+    suppliers_per_brochure: int = 2,
+    distinct_suppliers: Optional[int] = None,
+    seed: int = 7,
+    old_ratio: float = 0.0,
+) -> str:
+    """The same brochures as serialized SGML text — the wire payload a
+    ``repro serve`` client POSTs to ``/convert/<program>`` (also the
+    load-driver payload in ``benchmarks/bench_serve.py``)."""
+    from ..sgml.parser import write_sgml
+
+    return "\n".join(
+        write_sgml(doc)
+        for doc in brochure_elements(
+            count, suppliers_per_brochure, distinct_suppliers, seed, old_ratio
+        )
+    )
+
+
 def brochure_trees(
     count: int,
     suppliers_per_brochure: int = 2,

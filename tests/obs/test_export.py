@@ -77,6 +77,25 @@ class TestPrometheus:
         registry.histogram("h", buckets=(1,)).observe(0.5)
         assert "_nonfinite" not in metrics_to_prometheus(registry)
 
+    def test_histogram_quantile_companion_gauges(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10, 20, 30))
+        for _ in range(10):
+            histogram.observe(15, rule="R")
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE h_quantile gauge\n" in text
+        assert '\nh_quantile{quantile="0.5",rule="R"} 15\n' in text
+        assert '\nh_quantile{quantile="0.95",rule="R"} 19.5\n' in text
+        assert '\nh_quantile{quantile="0.99",rule="R"} 19.9\n' in text
+        # quantile samples come after the histogram family's own block
+        assert text.index("h_count") < text.index("h_quantile")
+
+    def test_no_quantile_family_for_empty_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1,)).observe(float("nan"))
+        text = metrics_to_prometheus(registry)
+        assert "_quantile" not in text
+
     def test_empty_registry(self):
         assert metrics_to_prometheus(MetricsRegistry()) == ""
 

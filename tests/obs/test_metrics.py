@@ -119,9 +119,57 @@ class TestHistogram:
         histogram = MetricsRegistry().histogram("h")
         histogram.observe(math.nan, rule="R")
         assert histogram.stats(rule="R") == {
-            "count": 0, "sum": 0.0, "buckets": {}, "nonfinite": 1,
+            "count": 0, "sum": 0.0, "buckets": {},
+            "p50": None, "p95": None, "p99": None, "nonfinite": 1,
         }
         assert histogram.label_keys() == [{"rule": "R"}]
+
+    def test_percentile_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10, 20, 30))
+        # 10 observations land in (10, 20]: cumulative 0 below 10, 10
+        # at 20 — the median rank (5) sits halfway into that bucket.
+        for _ in range(10):
+            histogram.observe(15)
+        assert histogram.percentile(0.5) == 15.0
+        assert histogram.percentile(1.0) == 20.0
+
+    def test_percentile_spread_across_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 99):
+            histogram.observe(value)
+        stats = histogram.stats()
+        # rank(p50)=2 → top of the (1,10] bucket; p95/p99 → (10,100]
+        assert stats["p50"] == 10.0
+        assert 10 < stats["p95"] <= 100
+        assert stats["p95"] < stats["p99"]
+
+    def test_percentile_in_inf_bucket_reports_last_finite_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 10))
+        histogram.observe(10**6)
+        assert histogram.percentile(0.99) == 10.0
+
+    def test_percentile_of_empty_series_is_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.percentile(0.5) is None
+        assert histogram.percentile(0.5, rule="missing") is None
+
+    def test_percentiles_are_per_label_series(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for _ in range(4):
+            histogram.observe(0.5, rule="fast")
+            histogram.observe(50, rule="slow")
+        assert histogram.stats(rule="fast")["p95"] <= 1.0
+        assert histogram.stats(rule="slow")["p95"] > 10.0
+
+    def test_percentiles_survive_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10, 20))
+        for _ in range(10):
+            histogram.observe(15)
+        series = registry.snapshot()["h"]["series"][0]
+        assert series["p50"] == 15.0
+        assert series["p99"] > series["p50"]
+        json.dumps(registry.snapshot())
 
     def test_nonfinite_survives_snapshot(self):
         registry = MetricsRegistry()

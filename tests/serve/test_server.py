@@ -1,0 +1,419 @@
+"""The mediator daemon: endpoints, tracing, concurrency, shutdown."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import MediatorServer
+from repro.system import YatSystem
+from repro.workloads import brochure_sgml
+
+PROGRAM = "SgmlBrochuresToOdmg"
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture
+def payload():
+    return brochure_sgml(3, distinct_suppliers=2)
+
+
+@pytest.fixture
+def server():
+    instance = MediatorServer(port=0, warm=False, allow_test_delay=True)
+    instance.warm_now()
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def request(server, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30
+    )
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, dict(response.headers), raw
+    finally:
+        connection.close()
+
+
+def get_json(server, path):
+    status, headers, raw = request(server, "GET", path)
+    return status, json.loads(raw)
+
+
+def post_convert(server, payload, program=PROGRAM, query="", headers=None):
+    status, response_headers, raw = request(
+        server, "POST", f"/convert/{program}{query}",
+        body=payload.encode(), headers=headers,
+    )
+    return status, json.loads(raw), response_headers
+
+
+class TestHealthProbes:
+    def test_healthz_ok_while_serving(self, server):
+        status, _, raw = request(server, "GET", "/healthz")
+        assert status == 200 and raw == b"ok\n"
+
+    def test_readyz_ready_after_warmup(self, server):
+        status, _, raw = request(server, "GET", "/readyz")
+        assert status == 200 and raw == b"ready\n"
+
+    def test_readyz_503_before_warmup(self):
+        cold = MediatorServer(port=0, warm=False)
+        cold.start()
+        try:
+            status, _, raw = request(cold, "GET", "/readyz")
+            assert status == 503 and raw == b"warming\n"
+            # liveness is independent of readiness
+            status, _, _ = request(cold, "GET", "/healthz")
+            assert status == 200
+            cold.warm_now()
+            status, _, _ = request(cold, "GET", "/readyz")
+            assert status == 200
+        finally:
+            cold.stop()
+
+
+class TestConvert:
+    def test_counts_and_trace_header(self, server, payload):
+        status, body, headers = post_convert(server, payload)
+        assert status == 200
+        assert body["program"] == PROGRAM
+        assert body["input_trees"] == 3
+        assert body["output_trees"] > 0
+        assert body["unconverted"] == 0
+        assert body["latency_ms"] > 0
+        assert headers["X-Trace-Id"] == body["trace_id"]
+
+    def test_inbound_trace_id_is_honored(self, server, payload):
+        status, body, headers = post_convert(
+            server, payload, headers={"X-Trace-Id": "client-7"}
+        )
+        assert status == 200
+        assert body["trace_id"] == "client-7"
+        assert headers["X-Trace-Id"] == "client-7"
+
+    def test_malformed_trace_id_is_replaced(self, server, payload):
+        status, body, _ = post_convert(
+            server, payload, headers={"X-Trace-Id": "bad id with spaces"}
+        )
+        assert status == 200
+        assert body["trace_id"] != "bad id with spaces"
+
+    def test_include_output_trees(self, server, payload):
+        status, body, _ = post_convert(server, payload, query="?include=output")
+        assert status == 200
+        assert len(body["output"]) == body["output_trees"]
+
+    def test_include_output_html(self, server, payload):
+        # The brochures program emits no HtmlPage trees, so the HTML
+        # rendering path yields an empty page map — still a 200.
+        status, body, _ = post_convert(
+            server, payload, query="?include=output&to=html"
+        )
+        assert status == 200
+        assert body["output"] == {}
+
+    def test_unknown_program_404(self, server, payload):
+        status, body, _ = post_convert(server, payload, program="Nope")
+        assert status == 404
+        assert "error" in body and "trace_id" in body
+
+    def test_unknown_post_path_404(self, server, payload):
+        status, _, raw = request(server, "POST", "/nope", body=b"x")
+        assert status == 404
+
+    def test_missing_content_length_411(self, server):
+        # http.client always sends Content-Length for bytes bodies, so
+        # speak raw HTTP to omit it.
+        import socket
+
+        with socket.create_connection((server.host, server.port)) as sock:
+            sock.sendall(
+                f"POST /convert/{PROGRAM} HTTP/1.1\r\n"
+                f"Host: {server.host}\r\nConnection: close\r\n\r\n".encode()
+            )
+            response = sock.makefile("rb").read()
+        assert b"411" in response.splitlines()[0]
+
+    def test_errors_are_counted(self, server, payload):
+        post_convert(server, payload, program="Nope")
+        assert server.registry.value(
+            "serve.requests", program="Nope", status="404"
+        ) == 1
+        assert server.registry.counter("serve.errors").total() == 1
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, server, payload):
+        post_convert(server, payload)
+        status, headers, raw = request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = raw.decode()
+        assert (
+            f'serve_requests{{program="{PROGRAM}",status="200"}} 1' in text
+        )
+        assert "serve_latency_ms_bucket" in text
+        assert 'serve_latency_ms_quantile{program=' in text
+        assert "yatl_rule_applications" in text  # pipeline internals too
+
+
+class TestStatsEndpoint:
+    def test_snapshot_shape(self, server, payload):
+        post_convert(server, payload)
+        status, stats = get_json(server, "/stats")
+        assert status == 200
+        assert stats["server"]["ready"] is True
+        assert stats["server"]["requests_total"] == 1
+        assert PROGRAM in stats["server"]["programs"]
+        latency = stats["programs"][PROGRAM]["latency_ms"]
+        assert latency["count"] == 1
+        assert latency["p50"] is not None and latency["p95"] is not None
+        assert stats["requests"][-1]["program"] == PROGRAM
+        assert "serve.requests" in stats["metrics"]
+
+
+class TestTraceEndpoint:
+    def test_span_provenance_join(self, server, payload):
+        status, body, _ = post_convert(
+            server, payload, headers={"X-Trace-Id": "probe-1"}
+        )
+        assert status == 200
+        status, trace = get_json(server, "/trace/probe-1")
+        assert status == 200
+        assert trace["trace_id"] == "probe-1"
+        assert trace["request"]["status"] == 200
+        names = [span["name"] for span in trace["spans"]]
+        assert "serve.request" in names and "yatl.rule" in names
+        provenance = trace["provenance"]
+        assert provenance["records"], "per-firing lineage must be recorded"
+        assert all(
+            record["trace_id"] == "probe-1" for record in provenance["records"]
+        )
+        # every record's span joins a span in the same payload
+        span_ids = {span["span_id"] for span in trace["spans"]}
+        assert all(
+            record["span_id"] in span_ids for record in provenance["records"]
+        )
+        assert set(provenance["sources"].values()) == {"sgml"}
+
+    def test_unknown_trace_404_lists_retained(self, server, payload):
+        post_convert(server, payload, headers={"X-Trace-Id": "kept"})
+        status, body = get_json(server, "/trace/missing")
+        assert status == 404
+        assert body["retained"] == ["kept"]
+
+    def test_ring_eviction(self, payload):
+        instance = MediatorServer(
+            port=0, warm=False, trace_capacity=2, allow_test_delay=True
+        )
+        instance.warm_now()
+        instance.start()
+        try:
+            for trace_id in ("t1", "t2", "t3"):
+                post_convert(instance, payload,
+                             headers={"X-Trace-Id": trace_id})
+            assert instance.traces.ids() == ["t2", "t3"]
+            status, _ = get_json(instance, "/trace/t1")
+            assert status == 404
+        finally:
+            instance.stop()
+
+
+class TestUnknownEndpoint:
+    def test_404_lists_endpoints(self, server):
+        status, body = get_json(server, "/nope")
+        assert status == 404
+        assert any("/metrics" in endpoint for endpoint in body["endpoints"])
+
+
+class TestConcurrency:
+    def test_no_lost_samples_under_concurrent_load(self, server, payload):
+        """N threads hammer /convert while /metrics is scraped: every
+        request must land in serve.requests and the request log, and
+        the per-request ambient contextvar isolation must hold (each
+        trace's spans and provenance stay its own)."""
+        clients, per_client = 8, 5
+        results, scrape_results = [], []
+        lock = threading.Lock()
+        stop_scraping = threading.Event()
+
+        def hammer(client_index):
+            for request_index in range(per_client):
+                trace_id = f"c{client_index}-r{request_index}"
+                status, body, _ = post_convert(
+                    server, payload, headers={"X-Trace-Id": trace_id}
+                )
+                with lock:
+                    results.append((status, body["trace_id"], trace_id))
+
+        def scrape():
+            while not stop_scraping.is_set():
+                status, _, raw = request(server, "GET", "/metrics")
+                with lock:
+                    scrape_results.append((status, b"serve_requests" in raw))
+                stop_scraping.wait(0.01)
+
+        scraper = threading.Thread(target=scrape)
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(clients)
+        ]
+        scraper.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_scraping.set()
+        scraper.join()
+
+        total = clients * per_client
+        assert len(results) == total
+        assert all(status == 200 for status, _, _ in results)
+        # contextvar isolation: every response echoes its own trace id
+        assert all(got == sent for _, got, sent in results)
+        # zero lost counter increments
+        assert server.registry.value(
+            "serve.requests", program=PROGRAM, status="200"
+        ) == total
+        assert len(server.request_log) == total
+        assert server.registry.histogram("serve.latency_ms").stats(
+            program=PROGRAM
+        )["count"] == total
+        assert scrape_results and all(
+            status == 200 for status, _ in scrape_results
+        )
+        # a final scrape, after the load, must expose every sample
+        status, _, raw = request(server, "GET", "/metrics")
+        assert status == 200
+        assert (
+            f'serve_requests{{program="{PROGRAM}",status="200"}} {total}'
+            in raw.decode()
+        )
+        # per-request traces stayed separate: each retained trace holds
+        # only spans stamped with its own id
+        for trace_id in server.traces.ids():
+            trace = server.traces.get(trace_id)
+            args = [span["args"] for span in trace["spans"]
+                    if span["name"] == "serve.request"]
+            assert len(args) == 1 and args[0]["trace_id"] == trace_id
+            assert all(
+                record["trace_id"] == trace_id
+                for record in trace["provenance"]["records"]
+            )
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_request(self, payload):
+        """stop() mid-request must let the in-flight conversion finish
+        (200), then flush both logs."""
+        instance = MediatorServer(
+            port=0, warm=False, allow_test_delay=True
+        )
+        instance.warm_now()
+        instance.start()
+        outcome = {}
+
+        def slow_request():
+            status, body, _ = post_convert(
+                instance, payload, query="?delay_ms=400",
+                headers={"X-Trace-Id": "inflight"},
+            )
+            outcome["status"], outcome["body"] = status, body
+
+        client = threading.Thread(target=slow_request)
+        client.start()
+        deadline = time.time() + 5
+        while instance.registry.value("serve.inflight") < 1:
+            assert time.time() < deadline, "request never became in-flight"
+            time.sleep(0.01)
+        instance.stop()  # returns only after the drain
+        client.join(timeout=5)
+        assert outcome["status"] == 200
+        assert outcome["body"]["trace_id"] == "inflight"
+        assert len(instance.request_log) == 1
+        types = [event["type"] for event in instance.events]
+        assert types[-2:] == ["server.draining", "server.stopped"]
+
+    def test_stop_is_idempotent_and_health_reports_draining(self, server):
+        server.stop()
+        server.stop()  # second call must be a no-op
+        assert server.draining and not server.ready
+
+    def test_logs_flushed_to_disk_on_stop(self, payload, tmp_path):
+        request_log = tmp_path / "requests.jsonl"
+        event_log = tmp_path / "events.jsonl"
+        instance = MediatorServer(
+            port=0, warm=False,
+            request_log_path=str(request_log),
+            event_log_path=str(event_log),
+        )
+        instance.warm_now()
+        instance.start()
+        post_convert(instance, payload)
+        instance.stop()
+        requests = [json.loads(line)
+                    for line in request_log.read_text().splitlines()]
+        assert len(requests) == 1 and requests[0]["status"] == 200
+        events = [json.loads(line)
+                  for line in event_log.read_text().splitlines()]
+        assert [e["type"] for e in events][-1] == "server.stopped"
+
+    def test_sigint_kills_server_mid_request_exit_0(self, payload, tmp_path):
+        """The CLI daemon: SIGINT while a request is in flight must
+        drain it, flush the request log, and exit 0."""
+        request_log = tmp_path / "requests.jsonl"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--debug-delay", "--request-log", str(request_log)],
+            env={**os.environ, "PYTHONPATH": SRC},
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            assert "listening on http://" in banner
+            address = banner.split("http://")[1].split()[0]
+            host, port = address.rsplit(":", 1)
+
+            outcome = {}
+
+            def slow_request():
+                connection = http.client.HTTPConnection(
+                    host, int(port), timeout=30
+                )
+                try:
+                    connection.request(
+                        "POST", f"/convert/{PROGRAM}?delay_ms=600",
+                        body=payload.encode(),
+                    )
+                    response = connection.getresponse()
+                    outcome["status"] = response.status
+                    outcome["body"] = json.loads(response.read())
+                finally:
+                    connection.close()
+
+            client = threading.Thread(target=slow_request)
+            client.start()
+            time.sleep(0.25)  # let the request get in flight
+            process.send_signal(signal.SIGINT)
+            client.join(timeout=15)
+            assert process.wait(timeout=15) == 0
+            assert outcome.get("status") == 200, outcome
+            entries = [json.loads(line)
+                       for line in request_log.read_text().splitlines()]
+            assert len(entries) == 1 and entries[0]["status"] == 200
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

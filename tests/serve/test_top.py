@@ -1,0 +1,115 @@
+"""The `repro top` dashboard: rendering and polling."""
+
+import io
+
+from repro.serve import MediatorServer, render, run_top
+from repro.workloads import brochure_sgml
+
+from .test_server import PROGRAM, post_convert
+
+STATS = {
+    "server": {
+        "uptime_s": 12.5, "ready": True, "draining": False,
+        "inflight": 2, "requests_total": 100, "errors_total": 5,
+        "traces_retained": 10,
+    },
+    "programs": {
+        "SgmlBrochuresToOdmg": {
+            "requests": 100, "errors": 5,
+            "latency_ms": {"count": 100, "sum": 1234.0,
+                           "p50": 10.5, "p95": 22.0, "p99": 41.25},
+        },
+    },
+    "requests": [
+        {"status": 200, "program": "SgmlBrochuresToOdmg",
+         "latency_ms": 9.7, "trace_id": "t-9"},
+    ],
+}
+
+
+class TestRender:
+    def test_header_and_table(self):
+        frame = render(STATS, "http://x:1")
+        assert "up 12.5s" in frame and "ready" in frame
+        assert "inflight 2" in frame
+        assert "errors 5 (5.0%)" in frame
+        assert "SgmlBrochuresToOdmg" in frame
+        assert "10.5" in frame and "22.0" in frame and "41.2" in frame
+        assert "trace t-9" in frame
+
+    def test_first_frame_has_no_rate(self):
+        frame = render(STATS, "http://x:1")
+        line = next(l for l in frame.splitlines() if l.startswith("Sgml"))
+        assert line.split()[2] == "-"
+
+    def test_rate_from_previous_poll(self):
+        previous = {
+            "programs": {"SgmlBrochuresToOdmg": {"requests": 80}}
+        }
+        frame = render(STATS, "http://x:1", previous=previous, dt=2.0)
+        line = next(l for l in frame.splitlines() if l.startswith("Sgml"))
+        assert line.split()[2] == "10.0"  # (100-80)/2s
+
+    def test_empty_server(self):
+        frame = render({"server": {}, "programs": {}, "requests": []},
+                       "http://x:1")
+        assert "no conversion requests yet" in frame
+
+    def test_missing_percentiles_render_as_dash(self):
+        stats = {
+            "server": {"requests_total": 1},
+            "programs": {"P": {"requests": 1, "errors": 0,
+                               "latency_ms": {"p50": None}}},
+            "requests": [],
+        }
+        frame = render(stats, "http://x:1")
+        line = next(l for l in frame.splitlines() if l.startswith("P "))
+        assert line.split()[-3:] == ["-", "-", "-"]
+
+
+class TestRunTop:
+    def test_polls_live_server(self):
+        server = MediatorServer(port=0, warm=False)
+        server.warm_now()
+        server.start()
+        try:
+            post_convert(server, brochure_sgml(2, distinct_suppliers=2))
+            out = io.StringIO()
+            code = run_top(
+                f"http://{server.host}:{server.port}",
+                interval=0.05, iterations=2, clear=False, out=out,
+            )
+            assert code == 0
+            text = out.getvalue()
+            assert text.count("repro top —") == 2
+            assert PROGRAM in text
+            # the second frame has a previous poll, so a numeric rate
+            last_frame_lines = text.rstrip().splitlines()
+            program_lines = [l for l in last_frame_lines
+                             if l.startswith("Sgml")]
+            assert program_lines[-1].split()[2] != "-"
+            # top's own scrapes are visible server-side
+            assert server.registry.value(
+                "serve.http.requests", route="stats"
+            ) == 2
+        finally:
+            server.stop()
+
+    def test_unreachable_server_returns_1(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:9", interval=0.01,
+                       iterations=2, clear=False, out=out)
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+    def test_clear_frames_use_ansi(self):
+        server = MediatorServer(port=0, warm=False)
+        server.warm_now()
+        server.start()
+        try:
+            out = io.StringIO()
+            run_top(f"http://{server.host}:{server.port}",
+                    interval=0.01, iterations=1, clear=True, out=out)
+            assert out.getvalue().startswith("\x1b[2J\x1b[H")
+        finally:
+            server.stop()

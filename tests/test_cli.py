@@ -263,6 +263,67 @@ class TestStats:
         assert 'yatl_rule_applications{rule="Rule1"} 1' in out
         assert "yatl_rule_seconds_bucket" in out  # histogram exposition
 
+    def test_prometheus_format_exposes_quantiles(self, sgml_file, capsys):
+        assert main(
+            ["stats", "SgmlBrochuresToOdmg", sgml_file, "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE yatl_rule_seconds_quantile gauge" in out
+        assert 'yatl_rule_seconds_quantile{quantile="0.95"' in out
+
+    def test_text_format_shows_percentiles(self, sgml_file, capsys):
+        assert main(["stats", "SgmlBrochuresToOdmg", sgml_file]) == 0
+        out = capsys.readouterr().out
+        histogram_lines = [l for l in out.splitlines()
+                           if "yatl.rule.seconds" in l]
+        assert histogram_lines
+        assert all("p50=" in l and "p95=" in l and "p99=" in l
+                   for l in histogram_lines)
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8023 and args.host == "127.0.0.1"
+        assert args.trace_capacity == 64
+        assert not args.no_warm and not args.debug_delay
+
+    def test_top_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:8023"
+        assert args.interval == 2.0 and args.iterations is None
+
+
+class TestTop:
+    def test_renders_live_server(self, capsys):
+        from repro.serve import MediatorServer
+
+        server = MediatorServer(port=0, warm=False)
+        server.warm_now()
+        server.start()
+        try:
+            assert main([
+                "top", f"http://127.0.0.1:{server.port}",
+                "--iterations", "1", "--no-clear", "--interval", "0.01",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "repro top —" in out
+            assert "no conversion requests yet" in out
+        finally:
+            server.stop()
+
+    def test_unreachable_server_fails(self, capsys):
+        assert main([
+            "top", "http://127.0.0.1:9", "--iterations", "1",
+            "--no-clear", "--interval", "0.01",
+        ]) == 1
+        assert "unreachable" in capsys.readouterr().out
+
 
 class TestLibraryDirectory:
     def test_custom_library(self, tmp_path, sgml_file, capsys):

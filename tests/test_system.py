@@ -40,6 +40,62 @@ class TestSpecificationEnvironment:
         assert signature.input_model.pattern_names() == ["Pbr"]
 
 
+class TestProgramCache:
+    def test_cached_load_returns_same_object(self):
+        system = YatSystem()
+        first = system.load_program_cached("SgmlBrochuresToOdmg")
+        second = system.load_program_cached("SgmlBrochuresToOdmg")
+        assert first is second
+        assert system.metrics.value(
+            "system.programs.cache_misses", program="SgmlBrochuresToOdmg"
+        ) == 1
+        assert system.metrics.value(
+            "system.programs.cache_hits", program="SgmlBrochuresToOdmg"
+        ) == 1
+
+    def test_uncached_import_reparses(self):
+        system = YatSystem()
+        assert system.import_program("O2Web") is not system.import_program("O2Web")
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(YatError):
+            YatSystem().load_program_cached("Nope")
+
+    def test_warm_preloads_whole_library(self):
+        system = YatSystem()
+        warmed = system.warm()
+        assert set(warmed) == set(system.library.program_names())
+        assert system.metrics.value("system.programs.warmed") == len(warmed)
+        # warmed programs now hit the cache
+        system.load_program_cached(warmed[0])
+        assert system.metrics.value(
+            "system.programs.cache_hits", program=warmed[0]
+        ) == 1
+
+    def test_warm_subset(self):
+        system = YatSystem()
+        assert system.warm(["O2Web"]) == ["O2Web"]
+        assert system.metrics.value(
+            "system.programs.cache_misses", program="O2Web"
+        ) == 1
+
+    def test_cache_is_thread_safe(self):
+        import threading
+
+        system = YatSystem()
+        loaded = []
+
+        def load():
+            loaded.append(system.load_program_cached("SgmlBrochuresToOdmg"))
+
+        threads = [threading.Thread(target=load) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(program) for program in loaded}) == 1
+
+
 class TestRuntimeEnvironment:
     def test_merge_stores_disambiguates(self, system):
         a = DataStore({"x": tree("a")})

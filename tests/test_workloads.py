@@ -3,6 +3,7 @@
 from repro.sgml import brochure_dtd, is_valid
 from repro.workloads import (
     brochure_elements,
+    brochure_sgml,
     brochure_trees,
     car_object_store,
     dealer_database,
@@ -50,6 +51,23 @@ class TestBrochures:
         elements = brochure_elements(3, seed=9)
         trees_ = brochure_trees(3, seed=9)
         assert [wrapper.element_to_tree(e) for e in elements] == trees_
+
+
+class TestBrochureSgml:
+    def test_roundtrips_through_the_parser(self):
+        from repro.sgml import parse_sgml_many
+
+        text = brochure_sgml(3, distinct_suppliers=2)
+        documents = parse_sgml_many(text)
+        assert len(documents) == 3
+        assert [d.tag for d in documents] == ["brochure"] * 3
+
+    def test_matches_element_generator(self):
+        from repro.sgml import write_sgml
+
+        assert brochure_sgml(2, seed=11) == "\n".join(
+            write_sgml(d) for d in brochure_elements(2, seed=11)
+        )
 
 
 class TestDealerDatabase:
