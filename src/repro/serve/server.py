@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
@@ -69,12 +70,18 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _Httpd(ThreadingHTTPServer):
-    """Threading HTTP server that drains: handler threads are
-    non-daemon and joined by ``server_close()``, so graceful shutdown
-    never abandons an in-flight conversion."""
+    """Threading HTTP server whose handler threads are daemons.
 
-    daemon_threads = False
-    block_on_close = True
+    Draining is NOT delegated to ``server_close()`` joining handler
+    threads: an idle HTTP/1.1 keep-alive connection parks its handler
+    in ``readline()``, so a blocking join would hang shutdown forever
+    (and a non-daemon thread would pin the interpreter). Instead
+    :meth:`MediatorServer.stop` waits — with a deadline — on its own
+    in-flight request count, which tracks requests actually being
+    processed rather than connections merely held open."""
+
+    daemon_threads = True
+    block_on_close = False
     allow_reuse_address = True
 
     def __init__(self, address, handler, mediator: "MediatorServer") -> None:
@@ -102,6 +109,7 @@ class MediatorServer:
         warm_programs: Optional[Sequence[str]] = None,
         warm: bool = True,
         allow_test_delay: bool = False,
+        drain_timeout_s: float = 10.0,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
@@ -110,11 +118,17 @@ class MediatorServer:
         self.events = EventLog()
         self.event_log_path = event_log_path
         self.allow_test_delay = allow_test_delay
+        self.drain_timeout_s = drain_timeout_s
         self._warm = warm
         self._warm_programs = warm_programs
         self._ready = threading.Event()
         self._draining = threading.Event()
         self._stopped = threading.Event()
+        # In-flight *request* accounting (not connections: an idle
+        # keep-alive connection holds a handler thread but no request).
+        # stop() drains by waiting on this count with a deadline.
+        self._inflight_requests = 0
+        self._inflight_cv = threading.Condition()
         self._started_monotonic: Optional[float] = None
         self._serve_thread: Optional[threading.Thread] = None
         self._warm_thread: Optional[threading.Thread] = None
@@ -166,15 +180,41 @@ class MediatorServer:
         except Exception as exc:  # library corruption must not kill serving
             self.events.emit("server.warmup_failed", error=str(exc))
 
+    @contextmanager
+    def track_request(self):
+        """Count one HTTP request as in-flight for the drain in
+        :meth:`stop` (used by the handler around request dispatch)."""
+        with self._inflight_cv:
+            self._inflight_requests += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cv:
+                self._inflight_requests -= 1
+                self._inflight_cv.notify_all()
+
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain in-flight requests,
-        flush the event + request logs. Safe to call more than once."""
+        """Graceful shutdown: stop accepting, drain in-flight requests
+        (bounded by ``drain_timeout_s`` — never hangs on idle
+        keep-alive connections), flush the event + request logs. Safe
+        to call more than once."""
         if self._stopped.is_set():
             return
         self._draining.set()
         self.events.emit("server.draining")
         self._httpd.shutdown()  # stop the accept loop
-        self._httpd.server_close()  # joins in-flight handler threads
+        deadline = time.monotonic() + self.drain_timeout_s
+        with self._inflight_cv:
+            while self._inflight_requests:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.events.emit(
+                        "server.drain_timeout",
+                        abandoned=self._inflight_requests,
+                    )
+                    break
+                self._inflight_cv.wait(remaining)
+        self._httpd.server_close()  # close the listening socket
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
         self._stopped.set()
@@ -372,6 +412,10 @@ class MediatorServer:
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = f"repro-serve/{__version__}"
+    #: Socket timeout: an idle keep-alive connection parks its handler
+    #: thread in readline(); without a timeout that read never returns
+    #: and the thread outlives any shutdown attempt.
+    timeout = 5
 
     @property
     def mediator(self) -> MediatorServer:
@@ -387,6 +431,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.mediator.draining:
+            # Persistent connections must not outlive the drain (they
+            # would park handler threads and keep feeding requests).
+            self.close_connection = True
+            self.send_header("Connection", "close")
         for key, value in (extra_headers or {}).items():
             self.send_header(key, value)
         self.end_headers()
@@ -413,6 +462,10 @@ class _Handler(BaseHTTPRequestHandler):
     # -- GET: the observability plane --------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        with self.mediator.track_request():
+            self._do_get()
+
+    def _do_get(self) -> None:
         parsed = urlparse(self.path)
         path = parsed.path.rstrip("/") or "/"
         mediator = self.mediator
@@ -463,6 +516,10 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST: the conversion path -----------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        with self.mediator.track_request():
+            self._do_post()
+
+    def _do_post(self) -> None:
         parsed = urlparse(self.path)
         path = parsed.path.rstrip("/")
         if not path.startswith("/convert/"):
@@ -486,14 +543,25 @@ class _Handler(BaseHTTPRequestHandler):
         except UnicodeDecodeError:
             self._send_json(400, {"error": "payload must be UTF-8 SGML text"})
             return
+        if self.mediator.draining:
+            # A keep-alive connection accepted before the drain can
+            # still submit requests; refuse new work while in-flight
+            # conversions finish (_send also closes the connection).
+            self._send_json(503, {"error": "draining"})
+            return
         query = parse_qs(parsed.query)
+        try:
+            delay_ms = float(query.get("delay_ms", ["0"])[0] or 0)
+        except ValueError:
+            self._send_json(400, {"error": "delay_ms must be numeric"})
+            return
         status, payload = self.mediator.convert(
             program_name,
             body,
             trace_id=self.headers.get("X-Trace-Id"),
             to=query.get("to", ["trees"])[0],
             include_output="output" in query.get("include", []),
-            delay_ms=float(query.get("delay_ms", ["0"])[0] or 0),
+            delay_ms=delay_ms,
         )
         self._send_json(
             status, payload, {"X-Trace-Id": str(payload.get("trace_id", ""))}

@@ -124,7 +124,12 @@ class YatSystem:
         return warmed
 
     def save_program(self, program: Program) -> str:
-        return self.library.save_program(program)
+        name = self.library.save_program(program)
+        # The library text changed: drop the stale parsed Program so a
+        # long-running server's next load re-parses the new version.
+        with self._program_cache_lock:
+            self._program_cache.pop(name, None)
+        return name
 
     def import_model(self, name: str) -> Model:
         return self.library.load_model(name)

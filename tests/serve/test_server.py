@@ -146,6 +146,11 @@ class TestConvert:
             response = sock.makefile("rb").read()
         assert b"411" in response.splitlines()[0]
 
+    def test_non_numeric_delay_ms_is_a_400(self, server, payload):
+        status, body, _ = post_convert(server, payload, query="?delay_ms=nope")
+        assert status == 400
+        assert "delay_ms" in body["error"]
+
     def test_errors_are_counted(self, server, payload):
         post_convert(server, payload, program="Nope")
         assert server.registry.value(
@@ -345,6 +350,76 @@ class TestGracefulShutdown:
         assert len(instance.request_log) == 1
         types = [event["type"] for event in instance.events]
         assert types[-2:] == ["server.draining", "server.stopped"]
+
+    def test_stop_not_blocked_by_idle_keepalive_connection(self):
+        """An idle HTTP/1.1 keep-alive connection parks its handler
+        thread in readline(); stop() must not wait for it (it used to
+        join that thread and hang until SIGKILL)."""
+        instance = MediatorServer(port=0, warm=False)
+        instance.warm_now()
+        instance.start()
+        connection = http.client.HTTPConnection(
+            instance.host, instance.port, timeout=30
+        )
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+            # the connection stays open and idle; stop() must still
+            # return promptly (the drain tracks requests, not sockets)
+            start = time.monotonic()
+            instance.stop()
+            assert time.monotonic() - start < 5
+        finally:
+            connection.close()
+
+    def test_draining_refuses_new_convert_and_closes_connection(self, payload):
+        """A keep-alive connection accepted before the drain must get a
+        503 + Connection: close for any new /convert it submits while
+        in-flight requests finish."""
+        instance = MediatorServer(
+            port=0, warm=False, allow_test_delay=True
+        )
+        instance.warm_now()
+        instance.start()
+        connection = http.client.HTTPConnection(
+            instance.host, instance.port, timeout=30
+        )
+        stopper = None
+        try:
+            connection.request("GET", "/healthz")
+            connection.getresponse().read()  # keep-alive established
+
+            slow = threading.Thread(
+                target=post_convert, args=(instance, payload),
+                kwargs={"query": "?delay_ms=1500"},
+            )
+            slow.start()
+            deadline = time.time() + 5
+            while instance.registry.value("serve.inflight") < 1:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            stopper = threading.Thread(target=instance.stop)
+            stopper.start()
+            while not instance.draining:
+                assert time.time() < deadline
+                time.sleep(0.01)
+
+            connection.request(
+                "POST", f"/convert/{PROGRAM}", body=payload.encode()
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 503
+            assert body["error"] == "draining"
+            assert response.headers.get("Connection") == "close"
+            slow.join(timeout=10)
+        finally:
+            connection.close()
+            if stopper is not None:
+                stopper.join(timeout=10)
+            instance.stop()
 
     def test_stop_is_idempotent_and_health_reports_draining(self, server):
         server.stop()

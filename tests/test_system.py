@@ -53,6 +53,16 @@ class TestProgramCache:
             "system.programs.cache_hits", program="SgmlBrochuresToOdmg"
         ) == 1
 
+    def test_save_program_evicts_stale_cache_entry(self):
+        system = YatSystem()
+        cached = system.load_program_cached("SgmlBrochuresToOdmg")
+        system.save_program(cached)  # rewrite under the same name
+        fresh = system.load_program_cached("SgmlBrochuresToOdmg")
+        assert fresh is not cached, "save must invalidate the parse cache"
+        assert system.metrics.value(
+            "system.programs.cache_misses", program="SgmlBrochuresToOdmg"
+        ) == 2
+
     def test_uncached_import_reparses(self):
         system = YatSystem()
         assert system.import_program("O2Web") is not system.import_program("O2Web")
