@@ -34,94 +34,26 @@ costs more than the budget — the CI guardrail for the <5% target.
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+try:
+    from runner import (
+        add_common_args, best_of, leg_report, pairwise_overhead_pct,
+        write_report,
+    )
+except ImportError:  # pytest collects this file as benchmarks.bench_*
+    from benchmarks.runner import (
+        add_common_args, best_of, leg_report, pairwise_overhead_pct,
+        write_report,
+    )
 
-from repro.core.trees import DataStore, tree  # noqa: E402
-from repro.library.programs import BROCHURES_TEXT  # noqa: E402
 from repro.obs import ProvenanceStore, tracing  # noqa: E402
-from repro.workloads import brochure_trees  # noqa: E402
-from repro.yatl.parser import parse_program  # noqa: E402
-
-_KEY_METRICS = [
-    "yatl.inputs.total",
-    "yatl.inputs.converted",
-    "yatl.outputs.trees",
-    "yatl.rule.applications",
-    "yatl.rule.bindings_matched",
-    "yatl.dispatch.indexed_calls",
-    "yatl.dispatch.unindexed_calls",
-    "yatl.dispatch.subjects_considered",
-    "yatl.dispatch.subjects_admitted",
-    "yatl.dispatch.hit_ratio",
-    "yatl.dispatch.candidate_reduction_ratio",
-    "yatl.skolem.ids_fresh",
-    "yatl.skolem.ids_reused",
-    "yatl.demand.iterations",
-    "yatl.match.root_memo_hits",
-]
-
-_KIND_BASES = [
-    "pricelist",
-    "invoice",
-    "service_record",
-    "warranty",
-    "testdrive",
-    "order",
-    "delivery",
-    "tradein",
-    "inspection",
-    "leasing",
-]
-
-
-def kind_names(count: int):
-    """``count`` distinct document-kind names, car-dealer flavoured."""
-    return [
-        f"{_KIND_BASES[i % len(_KIND_BASES)]}_{i // len(_KIND_BASES)}"
-        for i in range(count)
-    ]
-
-
-def dealer_program(kinds):
-    """Rules 1+2 (brochures -> car/supplier objects) combined with one
-    conversion rule per extra document kind the dealership produces."""
-    lines = [BROCHURES_TEXT.strip().rsplit("end", 1)[0]]
-    for kind in kinds:
-        lines.append(
-            f"""
-rule Conv_{kind}:
-  P{kind}(Id) :
-    class -> {kind} < -> id -> Id, -> amount -> A >
-<=
-  Pdoc_{kind} :
-    {kind} < -> id -> Id, -> dealer -> Dl, -> amount -> A >
-"""
-        )
-    lines.append("end")
-    return parse_program("\n".join(lines))
-
-
-def dealer_store(brochures: int, documents: int, kinds) -> DataStore:
-    """A heterogeneous input store: brochures interleaved with the
-    other document kinds, in a deterministic round-robin order."""
-    store = DataStore()
-    for index, node in enumerate(brochure_trees(brochures, distinct_suppliers=10)):
-        store.add(f"br{index}", node)
-    for index in range(documents):
-        kind = kinds[index % len(kinds)]
-        node = tree(
-            kind,
-            tree("id", index),
-            tree("dealer", f"VW dealer {index % 7}"),
-            tree("amount", 100 + index % 900),
-        )
-        store.add(f"doc{index}", node)
-    return store
+from repro.workloads import (  # noqa: E402
+    dealer_document_program,
+    dealer_document_store,
+    document_kind_names,
+)
 
 
 def run_once(program, store, use_index: bool, provenance=None):
@@ -152,21 +84,10 @@ def main(argv=None) -> int:
         "--kinds", type=int, default=50,
         help="distinct extra document kinds, one rule each (default 50)",
     )
-    parser.add_argument(
-        "--repeat", type=int, default=2,
-        help="timed repetitions per configuration; best is reported",
-    )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="small smoke sizes for CI (overrides --trees/--brochures/--kinds)",
-    )
+    add_common_args(parser, repeat_default=2)
     parser.add_argument(
         "--no-index", action="store_true",
         help="ablation: run only the unindexed configuration",
-    )
-    parser.add_argument(
-        "--json", metavar="FILE", dest="json_path",
-        help="write timings and key run metrics to FILE as JSON",
     )
     parser.add_argument(
         "--provenance", action="store_true",
@@ -191,9 +112,9 @@ def main(argv=None) -> int:
     if args.trees and not args.kinds:
         parser.error("--kinds must be >= 1 when --trees > 0")
 
-    kinds = kind_names(args.kinds)
-    program = dealer_program(kinds)
-    store = dealer_store(args.brochures, args.trees, kinds)
+    kinds = document_kind_names(args.kinds)
+    program = dealer_document_program(kinds)
+    store = dealer_document_store(args.brochures, args.trees, kinds)
     total = len(store)
     print(
         f"car-dealer store: {total} input trees "
@@ -201,22 +122,10 @@ def main(argv=None) -> int:
         f"{args.kinds} kinds), {len(program.rules)} rules"
     )
 
-    def best_of(use_index: bool):
-        timings = []
-        result = None
-        for _ in range(max(1, args.repeat)):
-            elapsed, result = run_once(program, store, use_index)
-            timings.append(elapsed)
-        return min(timings), result
-
-    def leg_report(elapsed: float, result) -> dict:
-        metrics = result.metrics
-        report = {"wall_ms": round(elapsed * 1000, 3)}
-        for name in _KEY_METRICS:
-            metric = metrics.get(name)
-            if metric is not None:
-                report[name] = metric.total()
-        return report
+    def best_leg(use_index: bool):
+        return best_of(
+            lambda: run_once(program, store, use_index)[1], args.repeat
+        )
 
     report = {
         "benchmark": "dispatch_index",
@@ -231,12 +140,12 @@ def main(argv=None) -> int:
         "legs": {},
     }
 
-    unindexed_time, unindexed_result = best_of(use_index=False)
+    unindexed_time, unindexed_result = best_leg(use_index=False)
     print(f"  no-index : {unindexed_time * 1000:9.1f} ms")
     report["legs"]["no_index"] = leg_report(unindexed_time, unindexed_result)
     exit_code = 0
     if not args.no_index:
-        indexed_time, indexed_result = best_of(use_index=True)
+        indexed_time, indexed_result = best_leg(use_index=True)
         print(f"  indexed  : {indexed_time * 1000:9.1f} ms")
         report["legs"]["indexed"] = leg_report(indexed_time, indexed_result)
 
@@ -255,63 +164,40 @@ def main(argv=None) -> int:
             print(f"  speedup  : {speedup:9.2f}x  (identical output stores)")
 
         if args.provenance:
-            # Overhead is measured pair-wise: each repetition runs the
-            # recorder-off and recorder-on legs back to back (order
-            # alternating), and the reported overhead is the *median*
-            # of the per-pair ratios. Back-to-back runs see the same
-            # machine conditions, and the median survives the scheduler
-            # outliers that would dominate a min-of-legs comparison of
-            # a few-percent delta.
-            base_times, prov_times = [], []
-            prov_result = prov = None
+            prov_state = {}
 
-            def timed_base():
-                elapsed, _unused = run_once(program, store, use_index=True)
-                base_times.append(elapsed)
-                return elapsed
+            def baseline_leg():
+                _elapsed, result = run_once(program, store, use_index=True)
+                return result
 
-            def timed_prov():
-                nonlocal prov, prov_result
+            def provenance_leg():
                 prov = ProvenanceStore(sample_rate=args.sample_rate)
                 with tracing(prov):
-                    elapsed, prov_result = run_once(
+                    _elapsed, result = run_once(
                         program, store, use_index=True
                     )
-                prov_times.append(elapsed)
-                return elapsed
+                prov_state["prov"] = prov
+                prov_state["result"] = result
+                return result
 
-            pair_overheads = []
-            for repetition in range(max(1, args.repeat)):
-                if repetition % 2 == 0:
-                    base_elapsed = timed_base()
-                    prov_elapsed = timed_prov()
-                else:
-                    prov_elapsed = timed_prov()
-                    base_elapsed = timed_base()
-                if base_elapsed:
-                    pair_overheads.append(
-                        (prov_elapsed - base_elapsed) / base_elapsed * 100
-                    )
-            base_time, prov_time = min(base_times), min(prov_times)
-            pair_overheads.sort()
-            overhead_pct = (
-                pair_overheads[len(pair_overheads) // 2]
-                if pair_overheads
-                else 0.0
+            overhead_pct, base_time, prov_time = pairwise_overhead_pct(
+                baseline_leg, provenance_leg, args.repeat
             )
+            prov = prov_state["prov"]
+            prov_result = prov_state["result"]
             print(
                 f"  +recorder: {prov_time * 1000:9.1f} ms  "
                 f"({overhead_pct:+.2f}% vs {base_time * 1000:.1f} ms "
                 f"recorder-off, "
                 f"{prov.recorded}/{prov.firings} firing(s) recorded)"
             )
-            leg = leg_report(prov_time, prov_result)
-            leg["sample_rate"] = args.sample_rate
-            leg["provenance_firings"] = prov.firings
-            leg["provenance_records"] = prov.recorded
-            leg["baseline_wall_ms"] = round(base_time * 1000, 3)
-            leg["overhead_pct"] = round(overhead_pct, 3)
-            report["legs"]["indexed_provenance"] = leg
+            leg_data = leg_report(prov_time, prov_result)
+            leg_data["sample_rate"] = args.sample_rate
+            leg_data["provenance_firings"] = prov.firings
+            leg_data["provenance_records"] = prov.recorded
+            leg_data["baseline_wall_ms"] = round(base_time * 1000, 3)
+            leg_data["overhead_pct"] = round(overhead_pct, 3)
+            report["legs"]["indexed_provenance"] = leg_data
 
             prov_same = list(prov_result.store.items()) == list(
                 indexed_result.store.items()
@@ -332,11 +218,7 @@ def main(argv=None) -> int:
                 )
                 exit_code = 1
 
-    if args.json_path:
-        with open(args.json_path, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"  json     : {args.json_path}")
+    write_report(report, args.json_path)
     return exit_code
 
 

@@ -23,26 +23,19 @@ from __future__ import annotations
 
 import argparse
 import http.client
-import json
-import os
 import sys
 import threading
 import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+try:
+    from runner import percentile, write_report
+except ImportError:  # pytest collects this file as benchmarks.bench_*
+    from benchmarks.runner import percentile, write_report
 
 from repro.serve import MediatorServer  # noqa: E402
 from repro.workloads import brochure_sgml  # noqa: E402
 
 PROGRAM = "SgmlBrochuresToOdmg"
-
-
-def percentile(sorted_values, quantile: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, int(round(quantile * (len(sorted_values) - 1)))))
-    return sorted_values[index]
 
 
 def client_worker(host, port, payload, requests, latencies, statuses, lock):
@@ -201,11 +194,7 @@ def main(argv=None) -> int:
         )
         exit_code = 1
 
-    if args.json_path:
-        with open(args.json_path, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"  json       : {args.json_path}")
+    write_report(report, args.json_path)
     return exit_code
 
 

@@ -184,7 +184,12 @@ def cmd_convert(args, library: Library) -> int:
     ), (tracing(provenance) if provenance is not None else nullcontext()):
         with span("pipeline", program=args.program, to=args.to):
             store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
-            result = program.run(store, runtime_typing=args.runtime_typing)
+            result = program.run(
+                store,
+                runtime_typing=args.runtime_typing,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
             with span("export", to=args.to):
                 _emit(result, args.output, args.to)
     if profiling:
@@ -336,6 +341,7 @@ def cmd_serve(args, library: Library) -> int:
         trace_capacity=args.trace_capacity,
         warm=not args.no_warm,
         allow_test_delay=args.debug_delay,
+        workers=args.workers,
     )
     stop_requested = threading.Event()
 
@@ -433,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="RATE",
                          help="fraction of rule firings to record in the "
                               "event log (default 1.0; counters stay exact)")
+    convert.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="convert with the multi-process executor "
+                              "(N worker processes; output is byte-identical "
+                              "for every N — see docs/PERFORMANCE.md)")
+    convert.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                         help="inputs per shard for --workers (default: "
+                              "heuristic; small inputs stay single-pass)")
 
     lineage = sub.add_parser(
         "lineage",
@@ -494,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "/trace/<id> (default 64)")
     serve.add_argument("--no-warm", action="store_true",
                        help="skip program-library warmup (readyz stays 503)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shared multi-process conversion pool: shard "
+                            "large requests across N worker processes")
     serve.add_argument("--debug-delay", action="store_true",
                        help=argparse.SUPPRESS)  # honor ?delay_ms= (tests)
 

@@ -36,6 +36,12 @@ class Ref:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Ref is immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard break default unpickling;
+        # rebuild through the constructor (needed to ship trees to the
+        # worker processes of repro.parallel).
+        return (Ref, (self.target,))
+
     def __repr__(self) -> str:
         return f"Ref({self.target!r})"
 
@@ -73,6 +79,11 @@ class Tree:
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Tree is immutable")
+
+    def __reduce__(self):
+        # See Ref.__reduce__: reconstruct through __init__ so the
+        # immutability guard and precomputed hash survive pickling.
+        return (Tree, (self.label, self.children))
 
     # -- inspection ---------------------------------------------------------
 

@@ -31,6 +31,13 @@ class SyntaxYatError(YatError):
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
 
+    def __reduce__(self):
+        # The default exception reduction replays __init__ with
+        # self.args, which would re-append the location suffix; rebuild
+        # from the finished message instead (worker processes ship
+        # exceptions back pickled).
+        return (_rebuild_error, (type(self), self.args, self.__dict__))
+
 
 class EvaluationError(YatError):
     """A rule or program could not be evaluated."""
@@ -50,6 +57,11 @@ class NonDeterminismError(EvaluationError):
             message
             or f"non-deterministic program: two distinct values for {skolem_key}"
         )
+
+    def __reduce__(self):
+        # args holds only the rendered message; replaying __init__ with
+        # it would misplace it into skolem_key. See SyntaxYatError.
+        return (_rebuild_error, (type(self), self.args, self.__dict__))
 
 
 class DanglingReferenceError(EvaluationError):
@@ -94,3 +106,12 @@ class SchemaError(YatError):
 
 class LibraryError(YatError):
     """The program/model library could not save or load an item."""
+
+
+def _rebuild_error(cls, args, state):
+    """Unpickle helper for errors whose ``__init__`` signature differs
+    from ``Exception.args`` (they carry extra positional context)."""
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error

@@ -41,12 +41,14 @@ from .metrics import (
     MetricsRegistry,
     ambient_registry,
     collecting,
+    merge_snapshot,
     record,
     record_gauge,
 )
 from .spans import (
     Span,
     SpanRecorder,
+    ambient_recorder,
     current_span_id,
     current_trace_id,
     recording,
@@ -78,10 +80,12 @@ __all__ = [
     "MetricsRegistry",
     "ambient_registry",
     "collecting",
+    "merge_snapshot",
     "record",
     "record_gauge",
     "Span",
     "SpanRecorder",
+    "ambient_recorder",
     "current_span_id",
     "current_trace_id",
     "recording",

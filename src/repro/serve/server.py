@@ -56,6 +56,7 @@ from ..obs import (
     span,
     tracing,
 )
+from ..parallel import ParallelExecutor
 from ..sgml.parser import parse_sgml_many
 from ..system import YatSystem
 from ..wrappers.html import HtmlExportWrapper
@@ -110,9 +111,25 @@ class MediatorServer:
         warm: bool = True,
         allow_test_delay: bool = False,
         drain_timeout_s: float = 10.0,
+        workers: Optional[int] = None,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
+        # Parallel conversion: one ParallelExecutor shared by every
+        # request for the whole server lifetime (forked lazily, warmed
+        # in start() before request threads exist). workers=None keeps
+        # the plain single-pass path; workers=1 exercises the sharded
+        # executor serially (useful to stage a rollout).
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.executor = (
+            ParallelExecutor(workers) if workers is not None and workers > 1
+            else None
+        )
+        self.registry.gauge(
+            "serve.pool.workers", "parallel conversion workers (0 = off)"
+        ).set(workers or 0)
         self.request_log = RequestLog(request_log_path)
         self.traces = TraceStore(trace_capacity)
         self.events = EventLog()
@@ -161,6 +178,11 @@ class MediatorServer:
         flips ``/readyz`` when the program library is parsed."""
         self._started_monotonic = time.monotonic()
         self.events.emit("server.started", host=self.host, port=self.port)
+        if self.executor is not None:
+            # Fork the pool before any request thread exists: forking a
+            # multi-threaded parent risks inheriting held locks.
+            self.executor.warm()
+            self.events.emit("server.pool_warmed", workers=self.executor.workers)
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name=f"repro-serve-{self.port}",
@@ -217,6 +239,8 @@ class MediatorServer:
         self._httpd.server_close()  # close the listening socket
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
+        if self.executor is not None:
+            self.executor.close()
         self._stopped.set()
         self.events.emit(
             "server.stopped",
@@ -280,6 +304,10 @@ class MediatorServer:
                 "errors_total": errors.total(),
                 "programs": self.system.library.program_names(),
                 "traces_retained": len(self.traces),
+                "pool": (
+                    self.executor.stats() if self.executor is not None
+                    else {"workers": self.workers or 0, "tasks_submitted": 0}
+                ),
             },
             "programs": programs,
             "requests": self.request_log.tail(20),
@@ -351,13 +379,24 @@ class MediatorServer:
         with span("serve.parse", category="serve"):
             documents = parse_sgml_many(body)
             store = SgmlImportWrapper().to_store(documents)
-        result = self.system.run(program, store)
+        result = self.system.run(
+            program, store, workers=self.workers, executor=self.executor
+        )
         counts = {
             "input_trees": len(store),
             "output_trees": len(result.store),
             "unconverted": len(result.unconverted),
             "warnings": len(result.warnings),
         }
+        parallel = getattr(result, "parallel", None)
+        if parallel is not None:
+            self.registry.counter(
+                "serve.pool.requests", "requests run through the sharded executor"
+            ).inc(program=program_name, mode=parallel["mode"])
+            self.registry.counter(
+                "serve.pool.shards", "shards executed for requests"
+            ).inc(parallel["shards"], program=program_name)
+            counts["shards"] = parallel["shards"]
         payload: Dict[str, object] = {"program": program_name, **counts}
         if result.warnings:
             payload["warning_messages"] = list(result.warnings)

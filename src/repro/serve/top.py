@@ -41,8 +41,12 @@ def _rate(
     dt: float,
 ) -> str:
     """Requests/second since the previous poll; ``-`` on the first."""
-    if previous is None or dt <= 0:
+    if previous is None:
         return "-"
+    # Two polls can land in the same clock tick (coarse monotonic
+    # clocks, or a forced redraw): clamp the elapsed time instead of
+    # dividing by zero or pretending there was no previous poll.
+    dt = max(dt, 1e-6)
     before = previous.get("programs", {}).get(program, {})
     delta = now_requests - float(before.get("requests", 0))
     return f"{max(0.0, delta) / dt:.1f}"

@@ -6,7 +6,10 @@ from .generators import (
     brochure_trees,
     car_object_store,
     dealer_database,
+    dealer_document_program,
+    dealer_document_store,
     deep_object_store,
+    document_kind_names,
     sales_matrix,
     supplier_pool,
 )
@@ -17,7 +20,10 @@ __all__ = [
     "brochure_trees",
     "car_object_store",
     "dealer_database",
+    "dealer_document_program",
+    "dealer_document_store",
     "deep_object_store",
+    "document_kind_names",
     "sales_matrix",
     "supplier_pool",
 ]

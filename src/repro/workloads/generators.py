@@ -125,6 +125,72 @@ def brochure_trees(
     ]
 
 
+_KIND_BASES = [
+    "pricelist",
+    "invoice",
+    "service_record",
+    "warranty",
+    "testdrive",
+    "order",
+    "delivery",
+    "tradein",
+    "inspection",
+    "leasing",
+]
+
+
+def document_kind_names(count: int) -> List[str]:
+    """``count`` distinct document-kind names, car-dealer flavoured —
+    the heterogeneous document base of the dispatch-index and parallel
+    benchmarks (price lists, invoices, service records...)."""
+    return [
+        f"{_KIND_BASES[i % len(_KIND_BASES)]}_{i // len(_KIND_BASES)}"
+        for i in range(count)
+    ]
+
+
+def dealer_document_program(kinds: List[str]):
+    """Rules 1+2 (brochures -> car/supplier objects) combined with one
+    conversion rule per extra document kind the dealership produces."""
+    from ..library.programs import BROCHURES_TEXT
+    from ..yatl.parser import parse_program
+
+    lines = [BROCHURES_TEXT.strip().rsplit("end", 1)[0]]
+    for kind in kinds:
+        lines.append(
+            f"""
+rule Conv_{kind}:
+  P{kind}(Id) :
+    class -> {kind} < -> id -> Id, -> amount -> A >
+<=
+  Pdoc_{kind} :
+    {kind} < -> id -> Id, -> dealer -> Dl, -> amount -> A >
+"""
+        )
+    lines.append("end")
+    return parse_program("\n".join(lines))
+
+
+def dealer_document_store(brochures: int, documents: int, kinds: List[str]):
+    """A heterogeneous input store: brochures interleaved with the
+    other document kinds, in a deterministic round-robin order."""
+    from ..core.trees import DataStore, tree
+
+    store = DataStore()
+    for index, node in enumerate(brochure_trees(brochures, distinct_suppliers=10)):
+        store.add(f"br{index}", node)
+    for index in range(documents):
+        kind = kinds[index % len(kinds)]
+        node = tree(
+            kind,
+            tree("id", index),
+            tree("dealer", f"VW dealer {index % 7}"),
+            tree("amount", 100 + index % 900),
+        )
+        store.add(f"doc{index}", node)
+    return store
+
+
 def dealer_database(
     suppliers: int, cars: int, sales_per_car: int = 2, seed: int = 7
 ) -> Database:

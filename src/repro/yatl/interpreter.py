@@ -19,6 +19,7 @@ converted by no rule raise, or feed empty-head fallback rules).
 from __future__ import annotations
 
 import time
+import warnings as _warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.trees import DataStore, Ref, Tree
@@ -180,13 +181,32 @@ class Interpreter:
         root-signature dispatch index (see :mod:`.dispatch`). On by
         default; disable to measure the unindexed O(rules × inputs)
         behaviour (the benchmark's ``--no-index`` ablation).
+    workers:
+        Evaluate the top-level input forest with the multi-process
+        executor of :mod:`repro.parallel`: the inputs are split into
+        contiguous chunks, each chunk runs through its own interpreter
+        with an isolated Skolem table, and the chunk results are merged
+        back deterministically (Skolem identifiers reconciled by
+        canonical term). ``workers=1`` runs the same chunk plan
+        serially in-process, so ``workers=N`` output is always
+        byte-identical to ``workers=1`` — see docs/PERFORMANCE.md.
+        ``None`` (default) keeps the plain single-pass evaluation.
+    chunk_size:
+        Inputs per chunk for ``workers=``; defaults to a heuristic that
+        leaves small forests on the plain in-process path.
+    executor:
+        A shared :class:`repro.parallel.ParallelExecutor` (e.g. the
+        serve plane's per-process pool); without one an ephemeral pool
+        is created per run when ``workers > 1``.
     parallel_safe_batches:
-        When > 1, partition the input trees into that many contiguous
-        batches and run the top-level rules batch by batch over one
-        shared Skolem table. Batches are independent (shadowing is per
-        input tree and Skolem identity is global), so results are
-        equivalent to a single pass — but identifiers are numbered in
-        batch-completion order rather than rule-major order.
+        Deprecated — use ``workers=``/``chunk_size=``. Historically
+        this only *partitioned* the inputs into contiguous batches
+        evaluated sequentially in one process (it never ran anything
+        concurrently, despite the name). It now maps onto the sharded
+        executor with ``workers=1`` and that many chunks, which keeps
+        the old contract: results equivalent to a single pass, with
+        identifiers numbered in chunk order rather than rule-major
+        order.
     metrics:
         A :class:`~repro.obs.MetricsRegistry` to account the run(s)
         into. When omitted, each run uses the ambient registry
@@ -217,6 +237,9 @@ class Interpreter:
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
         parallel_safe_batches: Optional[int] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        executor=None,
         metrics: Optional[MetricsRegistry] = None,
         provenance: Optional[ProvenanceStore] = None,
         program_name: Optional[str] = None,
@@ -234,7 +257,25 @@ class Interpreter:
         self.dispatch = self.hierarchy.dispatch_index() if use_dispatch_index else None
         if parallel_safe_batches is not None and parallel_safe_batches < 1:
             raise ValueError("parallel_safe_batches must be >= 1")
+        if parallel_safe_batches is not None:
+            _warnings.warn(
+                "parallel_safe_batches is deprecated; use workers= and "
+                "chunk_size= (it maps onto the sharded executor of "
+                "repro.parallel with workers=1)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.parallel_safe_batches = parallel_safe_batches
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.executor = executor
+        self.target_functors = (
+            list(target_functors) if target_functors is not None else None
+        )
         # Targeted evaluation (the paper's future work: "querying the
         # target data representation without materializing it"): when
         # target functors are given, only the rules those functors
@@ -271,34 +312,60 @@ class Interpreter:
 
     def run(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
         store = _as_store(data)
+        workers = self.workers
+        chunk_count = None
+        if workers is None and self.executor is not None:
+            # A shared pool is an explicit opt-in: use its worker count.
+            workers = self.executor.workers
+        if workers is None and (self.parallel_safe_batches or 0) > 1:
+            # Deprecated batching maps onto the sharded executor run
+            # serially in-process: same contiguous partitions, one
+            # reconciled Skolem table.
+            workers, chunk_count = 1, self.parallel_safe_batches
+        if workers is not None:
+            from ..parallel import run_sharded  # cycle: parallel runs interpreters
+
+            return run_sharded(
+                self.shard_spec(),
+                store,
+                workers=workers,
+                chunk_size=self.chunk_size,
+                chunk_count=chunk_count,
+                executor=self.executor,
+                strict_refs=self.strict_refs,
+                metrics=self.metrics,
+                provenance=self.provenance,
+            )
+        return self.run_local(store)
+
+    def run_local(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
+        """One plain single-process pass (no sharding) — the execution
+        primitive :mod:`repro.parallel` runs once per chunk."""
+        store = _as_store(data)
         state = _RunState(self, store)
         with span("yatl.run", rules=len(self.rules), inputs=len(state.inputs)):
-            batches = self._batches(state.inputs)
-            state.metrics.counter(M_BATCHES).inc(len(batches))
-            for index, batch in enumerate(batches):
-                with span("yatl.batch", index=index, inputs=len(batch)):
-                    state.apply_top_level(batch)
+            state.metrics.counter(M_BATCHES).inc(1)
+            state.apply_top_level()
             state.apply_fallbacks()
             state.demand_loop()
             return state.finish()
 
-    def _batches(self, inputs: List[Tree]) -> List[List[Tree]]:
-        """Contiguous input partitions for batched evaluation (one list
-        — the whole input — unless ``parallel_safe_batches`` asks for
-        more). Contiguity preserves the relative input order every
-        batch sees."""
-        count = self.parallel_safe_batches
-        if not count or count <= 1 or len(inputs) <= 1:
-            return [inputs]
-        count = min(count, len(inputs))
-        size, remainder = divmod(len(inputs), count)
-        batches: List[List[Tree]] = []
-        start = 0
-        for index in range(count):
-            stop = start + size + (1 if index < remainder else 0)
-            batches.append(inputs[start:stop])
-            start = stop
-        return batches
+    def shard_spec(self):
+        """The picklable description :mod:`repro.parallel` ships to
+        worker processes to rebuild this interpreter per shard."""
+        from ..parallel import ShardSpec
+
+        return ShardSpec(
+            rules=self.rules,
+            registry=self.registry,
+            model=self.model,
+            hierarchy=self.hierarchy,
+            runtime_typing=self.runtime_typing,
+            max_demand_iterations=self.max_demand_iterations,
+            target_functors=self.target_functors,
+            use_dispatch_index=self.dispatch is not None,
+            program_name=self.program_name,
+        )
 
     # ------------------------------------------------------------------
     # Phases 1-3 for one rule
@@ -417,9 +484,11 @@ class _RunState:
         self.dispatch_stats = DispatchStats()
         self.match_ctx = MatchContext(store=store, model=interpreter.model)
         self.constructor = Constructor(self.skolems, self._on_skolem)
-        # Demand-driven evaluation bookkeeping.
-        self.pending_deref: Set[str] = set()
-        self.pending_ref: Set[str] = set()
+        # Demand-driven evaluation bookkeeping. Insertion-ordered dicts
+        # (not sets): demand_loop iterates pending_deref, and set order
+        # varies with the process hash seed — Skolem numbering must not.
+        self.pending_deref: Dict[str, None] = {}
+        self.pending_ref: Dict[str, None] = {}
         self.applied: Set[Tuple[str, Tree]] = set()  # (rule name, demand tree)
         # Rule names that *matched* a demand subject, keyed by the
         # subject itself. Persisted across demand iterations (and thus
@@ -461,9 +530,9 @@ class _RunState:
 
     def _on_skolem(self, identifier: str, term, deref: bool) -> None:
         if deref:
-            self.pending_deref.add(identifier)
+            self.pending_deref[identifier] = None
         else:
-            self.pending_ref.add(identifier)
+            self.pending_ref[identifier] = None
         if self._active_origins:
             self.provenance.setdefault(identifier, set()).update(
                 self._active_origins
@@ -620,8 +689,8 @@ class _RunState:
                 else:
                     self.skolems.associate(identifier, value)
                 built += 1
-                self.pending_ref.discard(identifier)
-                self.pending_deref.discard(identifier)
+                self.pending_ref.pop(identifier, None)
+                self.pending_deref.pop(identifier, None)
                 if self.prov is not None:
                     self.prov_firings += 1
                     if self.prov.record_firing(

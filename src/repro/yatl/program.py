@@ -131,6 +131,9 @@ class Program:
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
         parallel_safe_batches: Optional[int] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        executor=None,
         provenance=None,
     ) -> ConversionResult:
         """Convert *data*, returning the output store.
@@ -143,8 +146,12 @@ class Program:
         querying the target without materializing all of it.
         ``use_dispatch_index`` (default) pre-filters rule candidates by
         root signature; disable it for ablation measurements.
-        ``parallel_safe_batches`` splits top-level evaluation into that
-        many independent input partitions (see :class:`Interpreter`).
+        ``workers``/``chunk_size``/``executor`` evaluate the top-level
+        forest with the multi-process executor of :mod:`repro.parallel`
+        (``workers=N`` output is byte-identical to ``workers=1``; see
+        :class:`Interpreter` and docs/PERFORMANCE.md).
+        ``parallel_safe_batches`` is deprecated — it maps onto the
+        sharded executor with that many chunks and ``workers=1``.
         ``provenance`` installs a :class:`~repro.obs.ProvenanceStore`
         recording per-firing lineage (defaults to the ambient store
         from :func:`repro.obs.tracing`, if one is installed).
@@ -161,10 +168,23 @@ class Program:
             target_functors=target_functors,
             use_dispatch_index=use_dispatch_index,
             parallel_safe_batches=parallel_safe_batches,
+            workers=workers,
+            chunk_size=chunk_size,
+            executor=executor,
             provenance=provenance,
             program_name=self.name,
         )
         return interpreter.run(data)
+
+    def evaluate(
+        self,
+        data: Union[DataStore, Sequence[Tree], Tree],
+        **options,
+    ) -> ConversionResult:
+        """Alias of :meth:`run` — the evaluation entry point's name in
+        the paper's terminology (``Program.evaluate(workers=N)`` is the
+        parallel executor's documented surface)."""
+        return self.run(data, **options)
 
     def query(
         self,

@@ -189,6 +189,43 @@ class TestStatsEndpoint:
         assert "serve.requests" in stats["metrics"]
 
 
+class TestServePool:
+    def test_rejects_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            MediatorServer(port=0, warm=False, workers=0)
+
+    def test_pool_requests_are_accounted(self, payload):
+        instance = MediatorServer(
+            port=0, warm=False, allow_test_delay=True, workers=2
+        )
+        instance.warm_now()
+        instance.start()
+        try:
+            status, body, _ = post_convert(instance, payload)
+            assert status == 200
+            # A 3-document payload fits one chunk: the run takes the
+            # in-process fallback but is still accounted to the pool.
+            assert body["shards"] == 1
+            registry = instance.registry
+            assert registry.value("serve.pool.workers") == 2
+            assert registry.value(
+                "serve.pool.requests", program=PROGRAM, mode="inprocess"
+            ) == 1
+            assert registry.counter("serve.pool.shards").total() == 1
+            _, stats = get_json(instance, "/stats")
+            pool = stats["server"]["pool"]
+            assert pool["workers"] == 2
+        finally:
+            instance.stop()
+
+    def test_pool_disabled_reports_zero_workers(self, server, payload):
+        post_convert(server, payload)
+        _, stats = get_json(server, "/stats")
+        assert stats["server"]["pool"] == {
+            "workers": 0, "tasks_submitted": 0
+        }
+
+
 class TestTraceEndpoint:
     def test_span_provenance_join(self, server, payload):
         status, body, _ = post_convert(

@@ -55,6 +55,17 @@ class TestRender:
                        "http://x:1")
         assert "no conversion requests yet" in frame
 
+    def test_same_tick_poll_does_not_divide_by_zero(self):
+        """Two polls in the same clock tick (coarse monotonic clock or a
+        forced redraw) must render a numeric rate, not crash or
+        pretend there was no previous poll."""
+        previous = {
+            "programs": {"SgmlBrochuresToOdmg": {"requests": 100}}
+        }
+        frame = render(STATS, "http://x:1", previous=previous, dt=0.0)
+        line = next(l for l in frame.splitlines() if l.startswith("Sgml"))
+        assert line.split()[2] == "0.0"  # zero delta, clamped dt
+
     def test_missing_percentiles_render_as_dash(self):
         stats = {
             "server": {"requests_total": 1},

@@ -232,23 +232,43 @@ def materialized_outputs(result):
 
 
 class TestBatching:
+    """``parallel_safe_batches`` is deprecated (it maps onto the
+    sharded executor of ``repro.parallel`` with ``workers=1``); every
+    use must keep working *and* warn."""
+
     def test_single_batch_is_identical(self, brochures_program):
         inputs = brochure_trees(6, distinct_suppliers=3)
         plain = brochures_program.run(inputs)
-        batched = brochures_program.run(inputs, parallel_safe_batches=1)
+        with pytest.warns(DeprecationWarning, match="parallel_safe_batches"):
+            batched = brochures_program.run(inputs, parallel_safe_batches=1)
         assert list(plain.store.items()) == list(batched.store.items())
 
     @pytest.mark.parametrize("batches", [2, 3, 7])
     def test_batches_equivalent_up_to_naming(self, brochures_program, batches):
         inputs = brochure_trees(7, distinct_suppliers=3)
         plain = brochures_program.run(inputs)
-        batched = brochures_program.run(inputs, parallel_safe_batches=batches)
+        with pytest.warns(DeprecationWarning, match="parallel_safe_batches"):
+            batched = brochures_program.run(
+                inputs, parallel_safe_batches=batches
+            )
         assert len(batched.store) == len(plain.store)
         assert materialized_outputs(batched) == materialized_outputs(plain)
         assert batched.unconverted == plain.unconverted
 
+    def test_batches_match_sharded_executor(self, brochures_program):
+        """The deprecated option is a pure alias for the executor's
+        legacy chunk plan — outputs byte-identical to workers=1 with
+        the same partitions."""
+        inputs = brochure_trees(7, distinct_suppliers=3)
+        with pytest.warns(DeprecationWarning, match="parallel_safe_batches"):
+            batched = brochures_program.run(inputs, parallel_safe_batches=3)
+        assert batched.parallel == {"mode": "serial", "shards": 3, "workers": 1}
+
     def test_more_batches_than_inputs(self, brochures_program, brochure_b1):
-        result = brochures_program.run([brochure_b1], parallel_safe_batches=5)
+        with pytest.warns(DeprecationWarning, match="parallel_safe_batches"):
+            result = brochures_program.run(
+                [brochure_b1], parallel_safe_batches=5
+            )
         assert result.ids_of("Pcar") == ["c1"]
 
     def test_invalid_batch_count_rejected(self, brochures_program):
