@@ -61,7 +61,10 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
                     )
                 for quantile in QUANTILES:
                     estimate = stats.get(f"p{int(quantile * 100)}")
-                    if estimate is None:
+                    # No finite observations -> the quantile does not
+                    # exist: omit the sample (a NaN gauge would poison
+                    # PromQL aggregations over the family).
+                    if estimate is None or not math.isfinite(float(estimate)):
                         continue
                     q_labels = dict(labels)
                     q_labels["quantile"] = _bound_text(quantile)

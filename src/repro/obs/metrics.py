@@ -404,15 +404,20 @@ def _histogram_json(stats: Dict[str, object]) -> Dict[str, object]:
         ("+Inf" if bound == math.inf else repr(bound)): count
         for bound, count in stats["buckets"].items()  # type: ignore[union-attr]
     }
-    return {
+    payload: Dict[str, object] = {
         "count": stats["count"],
         "sum": stats["sum"],
-        "p50": stats.get("p50"),
-        "p95": stats.get("p95"),
-        "p99": stats.get("p99"),
-        "nonfinite": stats.get("nonfinite", 0),
-        "buckets": buckets,
     }
+    # Percentiles of a histogram with zero finite observations do not
+    # exist; the JSON contract is to omit the key entirely — never
+    # null, never NaN — matching /stats and the Prometheus exposition.
+    for key in ("p50", "p95", "p99"):
+        estimate = stats.get(key)
+        if estimate is not None and math.isfinite(float(estimate)):
+            payload[key] = estimate
+    payload["nonfinite"] = stats.get("nonfinite", 0)
+    payload["buckets"] = buckets
+    return payload
 
 
 # ---------------------------------------------------------------------------

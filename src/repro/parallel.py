@@ -446,6 +446,18 @@ def run_sharded(
         )
 
 
+def _is_pickling_error(exc: BaseException) -> bool:
+    """Pool failures caused by (un)pickling, not by the conversion:
+    ``pickle.PicklingError`` from the submit-side feeder, or the
+    ``TypeError``/``AttributeError`` spellings CPython's pickle raises
+    for unpicklable arguments and unimportable worker-side classes."""
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return isinstance(exc, (TypeError, AttributeError)) and (
+        "pickle" in str(exc).lower()
+    )
+
+
 def _run_shards(
     spec: ShardSpec,
     shard_items: List[List[Tuple[str, Tree]]],
@@ -454,20 +466,21 @@ def _run_shards(
     opts: Dict[str, object],
 ) -> Tuple[List[Dict[str, object]], str]:
     """Execute every shard — through the pool when workers > 1 and the
-    spec survives pickling, serially in-process otherwise. Either path
-    runs the byte-identical ``_execute_shard``."""
+    run survives pickling, serially in-process otherwise. Either path
+    runs the byte-identical ``_execute_shard``.
+
+    Pickling can fail up front (the spec) or per shard (the items a
+    future carries). Both degrade the *whole* run to serial shards
+    with exactly one ``RuntimeWarning`` per ``Program.run`` call — a
+    64-shard forest must not print 64 identical warnings, and a
+    half-pooled run would break the shard-order determinism argument.
+    """
+    degraded: Optional[str] = None
     if workers > 1:
         try:
             blob = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
-            # Not a result warning: result.warnings must stay identical
-            # between workers=1 (which never pickles) and workers=N.
-            _warnings.warn(
-                "parallel execution degraded to in-process shards: "
-                f"program is not picklable ({exc})",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+            degraded = f"program is not picklable ({exc})"
         else:
             key = f"{os.getpid()}-{next(_SPEC_KEYS)}"
             pool = executor if executor is not None else ParallelExecutor(workers)
@@ -476,10 +489,35 @@ def _run_shards(
                     pool.submit(_pool_shard, blob, key, index, items, opts)
                     for index, items in enumerate(shard_items)
                 ]
-                return [future.result() for future in futures], "pool"
+                payloads: List[Dict[str, object]] = []
+                for future in futures:
+                    try:
+                        payloads.append(future.result())
+                    except Exception as exc:
+                        if not _is_pickling_error(exc):
+                            raise
+                        # One shard's items (or results) failed to
+                        # cross the process boundary: abandon the pool
+                        # for this run and recompute everything
+                        # serially so shard order stays deterministic.
+                        degraded = f"shard data is not picklable ({exc})"
+                        for pending in futures:
+                            pending.cancel()
+                        break
+                if degraded is None:
+                    return payloads, "pool"
             finally:
                 if executor is None:
                     pool.close()
+    if degraded is not None:
+        # Warned exactly once per run — and never into result.warnings,
+        # which must stay identical between workers=1 (no pickling) and
+        # workers=N.
+        _warnings.warn(
+            f"parallel execution degraded to in-process shards: {degraded}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
     return (
         [
             _execute_shard(spec, index, items, **opts)
@@ -618,6 +656,63 @@ def _merge(
     )
     result.parallel = {"mode": mode, "shards": len(payloads), "workers": workers}
     return result
+
+
+def shard_result(
+    payload: Dict[str, object],
+    input_store: DataStore,
+    registry: Optional[MetricsRegistry] = None,
+    provenance: Optional[ProvenanceStore] = None,
+    recorder: Optional[SpanRecorder] = None,
+) -> ConversionResult:
+    """Rehydrate one shard payload as a full :class:`ConversionResult`
+    — the serve plane's request-coalescing split-back.
+
+    A coalesced batch executes each member request as its own shard
+    (fresh interpreter, fresh Skolem table), so a single shard *is* a
+    complete solo run: replaying its allocation log through a fresh
+    master table is the identity rename by the PR-5 merge argument,
+    which makes the rehydrated result byte-identical — identifiers,
+    outputs, warnings, unconverted — to running that request alone.
+
+    Telemetry folds into the caller's sinks exactly like the sharded
+    merge: the payload's metrics snapshot merges into *registry* (or
+    the ambient one), per-firing provenance into *provenance*, and the
+    shard's span tree grafts into *recorder* under the current span.
+    """
+    if registry is None:
+        registry = ambient_registry()
+    if registry is None:
+        registry = MetricsRegistry()
+
+    skolems = SkolemTable()
+    for local_id, functor, args in payload["log"]:
+        skolems.id_for(functor, tuple(args))
+    output = DataStore()
+    for identifier, node in payload["outputs"]:
+        skolems.associate(identifier, node)
+        output.add(identifier, node)
+
+    wanted = set(payload["unconverted"])
+    unconverted = [node for name, node in input_store if name in wanted]
+
+    merge_snapshot(registry, payload["metrics"])
+
+    result_prov = provenance if provenance is not None else ProvenanceStore()
+    shard_prov = payload["provenance"]
+    if provenance is not None and shard_prov.get("records"):
+        provenance.merge(ProvenanceStore.from_json(shard_prov))
+    else:
+        for output_id, names in shard_prov.get("origins", {}).items():
+            result_prov.add_origins(output_id, names)
+
+    if recorder is not None and payload["spans"]:
+        recorder.absorb(payload["spans"], parent_id=current_span_id())
+
+    return ConversionResult(
+        output, skolems, unconverted, list(payload["warnings"]),
+        result_prov, metrics=registry,
+    )
 
 
 def _recompute_gauges(registry: MetricsRegistry, master: SkolemTable) -> None:

@@ -12,6 +12,8 @@ watches it. ``repro serve`` / ``repro top`` in :mod:`repro.cli` are
 thin shells over these.
 """
 
+from .cache import ResultCache, canonical_key
+from .coalesce import Coalescer
 from .server import MAX_BODY_BYTES, MediatorServer
 from .telemetry import (
     RequestLog,
@@ -25,7 +27,10 @@ from .top import fetch_stats, render, run_top
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "Coalescer",
     "MediatorServer",
+    "ResultCache",
+    "canonical_key",
     "RequestLog",
     "TraceStore",
     "clean_trace_id",

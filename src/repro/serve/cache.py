@@ -1,0 +1,204 @@
+"""The conversion result cache — the first leg of the serve fast path.
+
+Mediation traffic is read-heavy and repetitive: the same client views
+re-request the same conversions against sources that change rarely.
+:class:`ResultCache` memoizes finished ``POST /convert/<program>``
+responses in a bounded, thread-safe LRU keyed by
+``(program, canonical input hash, rendering options)`` so a warm
+server answers repeats without touching the interpreter at all.
+
+Keying
+------
+
+The canonical input hash is ``sha256`` over the request body with
+leading/trailing whitespace stripped (whitespace framing never changes
+the parsed SGML forest) plus the rendering options that shape the
+response (``to=``, ``include=output``). Two requests with byte-different
+but canonically-equal payloads share an entry; anything that could
+change the response splits the key. Hashing is cheap relative to a
+conversion (~microseconds vs milliseconds), so even a miss costs ~0.
+
+Coherence
+---------
+
+Entries are invalidated through the same hook that evicts stale parsed
+programs: :meth:`repro.system.YatSystem.save_program` notifies its
+invalidation listeners, and the server drops every cached result for
+the saved program (``serve.cache.invalidations``), so a warm server
+never serves a view computed by a superseded program. Only ``200``
+responses are cached — errors and overload rejections must re-evaluate.
+
+Metrics: ``serve.cache.hits`` / ``serve.cache.misses`` /
+``serve.cache.evictions`` / ``serve.cache.invalidations`` (all with a
+``program`` label) and the ``serve.cache.size`` / ``serve.cache.capacity``
+gauges. The hit payloads stored here are *response cores* — no
+``trace_id`` or ``latency_ms``, which are stamped per request — and
+:meth:`get` hands out copies so per-request stamping never mutates the
+cached object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..obs import MetricsRegistry
+
+#: A cached response: (status, payload core, counts).
+CacheEntry = Tuple[int, Dict[str, object], Dict[str, object]]
+
+
+def canonical_key(
+    program: str, body: str, to: str = "trees", include_output: bool = False
+) -> str:
+    """The cache key for one conversion request (see module docstring)."""
+    digest = hashlib.sha256()
+    digest.update(body.strip().encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(to.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(b"1" if include_output else b"0")
+    return f"{program}\x00{digest.hexdigest()}"
+
+
+def _program_of(key: str) -> str:
+    return key.split("\x00", 1)[0]
+
+
+class ResultCache:
+    """Bounded thread-safe LRU of finished conversion responses."""
+
+    def __init__(
+        self, capacity: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("ResultCache capacity must be >= 1")
+        self.capacity = capacity
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.registry.gauge(
+            "serve.cache.capacity", "result-cache capacity (entries)"
+        ).set(capacity)
+
+    # -- the request path ---------------------------------------------------
+
+    def key(
+        self, program: str, body: str, to: str = "trees",
+        include_output: bool = False,
+    ) -> str:
+        return canonical_key(program, body, to, include_output)
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The cached ``(status, payload, counts)`` for *key*, or None.
+
+        A hit is promoted to most-recently-used and returned as
+        shallow copies: callers stamp per-request fields (trace id,
+        latency) onto the payload, which must never leak back into the
+        cache."""
+        program = _program_of(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self.registry.counter(
+                "serve.cache.misses", "result-cache misses"
+            ).inc(program=program)
+            return None
+        self.registry.counter(
+            "serve.cache.hits", "result-cache hits"
+        ).inc(program=program)
+        status, payload, counts = entry
+        return status, dict(payload), dict(counts)
+
+    def put(
+        self,
+        key: str,
+        status: int,
+        payload: Dict[str, object],
+        counts: Dict[str, object],
+    ) -> None:
+        """Store one finished response core (only ``200`` responses are
+        worth keeping — the server filters before calling)."""
+        entry = (status, dict(payload), dict(counts))
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self.registry.counter(
+                "serve.cache.evictions", "result-cache LRU evictions"
+            ).inc(evicted, program=_program_of(key))
+        self.registry.gauge(
+            "serve.cache.size", "result-cache entries"
+        ).set(size)
+
+    # -- coherence ----------------------------------------------------------
+
+    def invalidate_program(self, program: str) -> int:
+        """Drop every cached result for *program* (the ``save_program``
+        hook): the program text changed, so every cached view of it is
+        stale. Returns the number of dropped entries."""
+        prefix = f"{program}\x00"
+        with self._lock:
+            stale = [key for key in self._entries if key.startswith(prefix)]
+            for key in stale:
+                del self._entries[key]
+            size = len(self._entries)
+        if stale:
+            self.registry.counter(
+                "serve.cache.invalidations",
+                "result-cache entries dropped by program saves",
+            ).inc(len(stale), program=program)
+        self.registry.gauge(
+            "serve.cache.size", "result-cache entries"
+        ).set(size)
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+        self.registry.gauge(
+            "serve.cache.size", "result-cache entries"
+        ).set(0)
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` block for the cache."""
+        hits = self.registry.counter(
+            "serve.cache.hits", "result-cache hits"
+        ).total()
+        misses = self.registry.counter(
+            "serve.cache.misses", "result-cache misses"
+        ).total()
+        lookups = hits + misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+            "evictions": self.registry.counter(
+                "serve.cache.evictions", "result-cache LRU evictions"
+            ).total(),
+            "invalidations": self.registry.counter(
+                "serve.cache.invalidations",
+                "result-cache entries dropped by program saves",
+            ).total(),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ResultCache({len(self)}/{self.capacity} entr(ies))"

@@ -1,0 +1,240 @@
+"""Request coalescing / micro-batching — the second leg of the fast path.
+
+N concurrent ``POST /convert/<program>`` requests for the same program
+currently mean N interpreter constructions racing each other on the
+GIL. The :class:`Coalescer` merges requests that arrive within a short
+window into one batch run by a single *leader* thread: the first
+request for a program opens a batch, waits ``window_s`` for followers,
+then executes every member request as one shard of a combined run —
+one shared :class:`~repro.parallel.ShardSpec` (program hierarchy and
+dispatch index built once per program, not once per request), one
+uninterrupted interpreter pass over the combined forest instead of N
+GIL-thrashing concurrent passes — while the follower threads simply
+sleep on an event.
+
+Byte-identity guarantee
+-----------------------
+
+Each member executes as its *own* shard with a fresh interpreter and a
+fresh Skolem table (:func:`repro.parallel._execute_shard`, the PR-5
+execution primitive), and is split back out per request by
+:func:`repro.parallel.shard_result` — replaying a single shard's
+allocation log is the identity rename, so a coalesced response is
+byte-identical to the response the same request would get alone. Cross-
+member Skolem terms deliberately do **not** unify: request isolation is
+part of the response contract (two clients converting the same supplier
+each get their own ``s1``).
+
+Telemetry stays per-request: each shard records spans under the
+member's trace id and its own provenance store; the member thread
+grafts them into its ambient recorder/provenance during split-back, so
+``/trace/<id>`` shows only that request's lineage.
+
+Metrics: ``serve.coalesce.batches`` / ``serve.coalesce.requests``
+(label ``role=leader|follower``) / ``serve.coalesce.batch_size``
+(histogram, per program).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..core.trees import DataStore
+from ..errors import YatError
+from ..obs import MetricsRegistry, ambient_recorder
+from ..obs.provenance import ambient_provenance
+from ..parallel import ShardSpec, _execute_shard, shard_result
+from ..yatl.interpreter import ConversionResult, Interpreter
+from ..yatl.program import Program
+
+#: Followers wait on the leader with a generous deadline: the batch
+#: window plus the slowest plausible conversion. A leader that dies
+#: mid-batch sets every member's event in its finally block, so this
+#: only fires if the leader thread is killed outright.
+FOLLOWER_TIMEOUT_S = 120.0
+
+
+class _Member:
+    """One request waiting in a batch."""
+
+    __slots__ = ("store", "trace_id", "done", "payload", "error")
+
+    def __init__(self, store: DataStore, trace_id: Optional[str]) -> None:
+        self.store = store
+        self.trace_id = trace_id
+        self.done = threading.Event()
+        self.payload: Optional[Dict[str, object]] = None
+        self.error: Optional[BaseException] = None
+
+
+class _Batch:
+    __slots__ = ("members", "full", "closed")
+
+    def __init__(self) -> None:
+        self.members: List[_Member] = []
+        self.full = threading.Event()
+        self.closed = False
+
+
+class Coalescer:
+    """Merges concurrent same-program conversion requests into batches.
+
+    Thread-safe; one instance per :class:`~repro.serve.MediatorServer`.
+    ``max_batch`` closes a batch early once that many members joined
+    (the leader stops waiting out the window).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("Coalescer window_s must be > 0")
+        if max_batch < 2:
+            raise ValueError("Coalescer max_batch must be >= 2")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._batches: Dict[str, _Batch] = {}
+        # Program name -> ShardSpec: the hierarchy + dispatch index are
+        # immutable derived state, built once per program instead of
+        # once per request. Invalidated by save_program via the server.
+        self._specs: Dict[str, ShardSpec] = {}
+
+    # -- coherence ----------------------------------------------------------
+
+    def invalidate(self, program_name: str) -> None:
+        """Drop the cached spec for a saved/changed program."""
+        with self._lock:
+            self._specs.pop(program_name, None)
+
+    def _spec(self, program: Program) -> ShardSpec:
+        with self._lock:
+            spec = self._specs.get(program.name)
+        if spec is not None:
+            return spec
+        program.validate()  # solo runs validate per request; match that
+        spec = Interpreter(
+            program.rules,
+            registry=program.registry,
+            model=program._context_model(),
+            hierarchy=program.hierarchy(),
+            program_name=program.name,
+        ).shard_spec()
+        with self._lock:
+            return self._specs.setdefault(program.name, spec)
+
+    # -- the request path ---------------------------------------------------
+
+    def convert(
+        self,
+        program_name: str,
+        program: Program,
+        store: DataStore,
+        trace_id: Optional[str] = None,
+    ) -> ConversionResult:
+        """Run one request through the coalescer (called from the
+        request thread, inside its ambient telemetry contexts). Blocks
+        until the batch leader has executed this member's shard, then
+        splits the result back out under the caller's ambient
+        metrics/provenance/span contexts."""
+        member = _Member(store, trace_id)
+        with self._lock:
+            batch = self._batches.get(program_name)
+            if batch is None or batch.closed:
+                batch = _Batch()
+                self._batches[program_name] = batch
+                leader = True
+            else:
+                leader = False
+            batch.members.append(member)
+            if len(batch.members) >= self.max_batch:
+                batch.closed = True
+                batch.full.set()
+
+        if leader:
+            batch.full.wait(self.window_s)
+            with self._lock:
+                batch.closed = True
+                if self._batches.get(program_name) is batch:
+                    del self._batches[program_name]
+            self._run_batch(program_name, program, batch)
+        else:
+            if not member.done.wait(FOLLOWER_TIMEOUT_S):
+                raise YatError(
+                    f"coalesced conversion for {program_name!r} timed out "
+                    f"waiting for its batch leader"
+                )
+        self.registry.counter(
+            "serve.coalesce.requests", "requests served through the coalescer"
+        ).inc(program=program_name, role="leader" if leader else "follower")
+
+        if member.error is not None:
+            raise member.error
+        assert member.payload is not None
+        return shard_result(
+            member.payload,
+            member.store,
+            provenance=ambient_provenance(),
+            recorder=ambient_recorder(),
+        )
+
+    def _run_batch(
+        self, program_name: str, program: Program, batch: _Batch
+    ) -> None:
+        """Leader-side execution: every member request becomes one
+        shard of the combined forest, run back to back through one
+        shared spec. Always sets every member's event."""
+        try:
+            spec = self._spec(program)
+        except BaseException as exc:
+            for member in batch.members:
+                member.error = exc
+                member.done.set()
+            return
+        self.registry.counter(
+            "serve.coalesce.batches", "coalesced batch runs"
+        ).inc(program=program_name)
+        self.registry.histogram(
+            "serve.coalesce.batch_size", "requests per coalesced batch"
+        ).observe(len(batch.members), program=program_name)
+        for index, member in enumerate(batch.members):
+            try:
+                member.payload = _execute_shard(
+                    spec,
+                    index,
+                    list(member.store),
+                    record_provenance=True,
+                    record_spans=True,
+                    trace_id=member.trace_id,
+                )
+            except BaseException as exc:
+                member.error = exc
+            finally:
+                member.done.set()
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` block for the coalescer."""
+        batches = self.registry.counter(
+            "serve.coalesce.batches", "coalesced batch runs"
+        ).total()
+        coalesced = self.registry.counter(
+            "serve.coalesce.requests", "requests served through the coalescer"
+        ).total()
+        return {
+            "window_ms": round(self.window_s * 1000.0, 3),
+            "max_batch": self.max_batch,
+            "batches": batches,
+            "requests": coalesced,
+            "mean_batch_size": round(coalesced / batches, 3) if batches else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Coalescer(window_ms={self.window_s * 1000:.1f}, "
+            f"max_batch={self.max_batch})"
+        )

@@ -31,11 +31,33 @@ request-log entry, and observations into the RED metrics
 ``serve.requests`` / ``serve.errors`` / ``serve.latency_ms``
 (per-program labels). Shutdown is graceful: stop accepting, drain
 in-flight requests, flush the event and request logs.
+
+The serve fast path (docs/PERFORMANCE.md) sits between the HTTP shell
+and the interpreter:
+
+1. a bounded LRU **conversion result cache**
+   (:class:`~repro.serve.cache.ResultCache`) keyed by ``(program,
+   canonical input hash, rendering options)``, invalidated through
+   :meth:`~repro.system.YatSystem.save_program`'s listener hook so a
+   warm server never serves a stale view;
+2. **request coalescing** (:class:`~repro.serve.coalesce.Coalescer`):
+   concurrent same-program requests inside a short window merge into
+   one batch run and split back out per request, byte-identical to
+   solo execution;
+3. **admission control**: above ``max_queue_depth`` concurrently
+   executing conversions, new work is rejected with ``429`` +
+   ``Retry-After`` (``serve.rejected``) instead of queueing until the
+   thread pool collapses — overload degrades predictably.
+
+Cached responses still emit full RED metrics and a ``/trace/<id>``
+entry marked ``cache_hit: true`` whose span tree and provenance belong
+to *this* request (the original request's lineage is never replayed).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -50,6 +72,7 @@ from ..obs import (
     EventLog,
     ProvenanceStore,
     SpanRecorder,
+    ambient_recorder,
     collecting,
     metrics_to_prometheus,
     recording,
@@ -61,6 +84,8 @@ from ..sgml.parser import parse_sgml_many
 from ..system import YatSystem
 from ..wrappers.html import HtmlExportWrapper
 from ..wrappers.sgml import SgmlImportWrapper
+from .cache import ResultCache
+from .coalesce import Coalescer
 from .telemetry import RequestLog, TraceStore, clean_trace_id, trace_payload
 
 #: Largest accepted /convert payload (64 MiB) — a backstop against a
@@ -112,6 +137,10 @@ class MediatorServer:
         allow_test_delay: bool = False,
         drain_timeout_s: float = 10.0,
         workers: Optional[int] = None,
+        cache_size: int = 256,
+        coalesce_window_ms: float = 0.0,
+        coalesce_max_batch: int = 64,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
@@ -130,6 +159,36 @@ class MediatorServer:
         self.registry.gauge(
             "serve.pool.workers", "parallel conversion workers (0 = off)"
         ).set(workers or 0)
+        # -- the fast path (docs/PERFORMANCE.md) ---------------------------
+        # Result cache: cache_size=0 disables it (the bench ablation).
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.cache = (
+            ResultCache(cache_size, self.registry) if cache_size > 0 else None
+        )
+        # Request coalescing: off by default (coalesce_window_ms=0); a
+        # few milliseconds is enough to merge a concurrency spike.
+        if coalesce_window_ms < 0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        self.coalescer = (
+            Coalescer(
+                self.registry,
+                window_s=coalesce_window_ms / 1000.0,
+                max_batch=coalesce_max_batch,
+            )
+            if coalesce_window_ms > 0
+            else None
+        )
+        # Admission control: None = unlimited (the pre-PR-6 behavior).
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self._queue_depth = 0
+        self._queue_lock = threading.Lock()
+        # One program save must invalidate every derived layer: the
+        # parsed-program cache (inside YatSystem), the result cache,
+        # and the coalescer's shard specs.
+        self.system.add_invalidation_listener(self._on_program_changed)
         self.request_log = RequestLog(request_log_path)
         self.traces = TraceStore(trace_capacity)
         self.events = EventLog()
@@ -265,32 +324,49 @@ class MediatorServer:
             "serve.requests", "conversion requests served"
         )
         errors = self.registry.counter("serve.errors", "failed requests")
+        rejected = self.registry.counter(
+            "serve.rejected", "requests shed by admission control"
+        )
+        cache_hits = self.registry.counter(
+            "serve.cache.hits", "result-cache hits"
+        )
         latency = self.registry.histogram(
             "serve.latency_ms", "request latency (ms)",
             buckets=LATENCY_MS_BUCKETS,
         )
         programs: Dict[str, Dict[str, object]] = {}
+
+        def entry_for(program: str) -> Dict[str, object]:
+            return programs.setdefault(
+                program,
+                {"requests": 0.0, "errors": 0.0, "rejected": 0.0,
+                 "cache_hits": 0.0},
+            )
+
         for labels, value in requests.samples():
-            program = labels.get("program", "?")
-            entry = programs.setdefault(
-                program, {"requests": 0.0, "errors": 0.0}
-            )
-            entry["requests"] += value
+            entry_for(labels.get("program", "?"))["requests"] += value
         for labels, value in errors.samples():
-            program = labels.get("program", "?")
-            entry = programs.setdefault(
-                program, {"requests": 0.0, "errors": 0.0}
-            )
-            entry["errors"] += value
+            entry_for(labels.get("program", "?"))["errors"] += value
+        for labels, value in rejected.samples():
+            entry_for(labels.get("program", "?"))["rejected"] += value
+        for labels, value in cache_hits.samples():
+            entry_for(labels.get("program", "?"))["cache_hits"] += value
         for program, entry in programs.items():
             stats = latency.stats(program=program)
-            entry["latency_ms"] = {
+            latency_block: Dict[str, object] = {
                 "count": stats["count"],
                 "sum": round(float(stats["sum"]), 3),
-                "p50": stats["p50"],
-                "p95": stats["p95"],
-                "p99": stats["p99"],
             }
+            for quantile_key in ("p50", "p95", "p99"):
+                estimate = stats.get(quantile_key)
+                # Percentiles of an empty histogram do not exist:
+                # omit the key rather than emit null/NaN, so JSON
+                # consumers and the dashboard share one convention.
+                if estimate is not None and math.isfinite(float(estimate)):
+                    latency_block[quantile_key] = estimate
+            entry["latency_ms"] = latency_block
+        with self._queue_lock:
+            queue_depth = self._queue_depth
         return {
             "server": {
                 "version": __version__,
@@ -308,11 +384,70 @@ class MediatorServer:
                     self.executor.stats() if self.executor is not None
                     else {"workers": self.workers or 0, "tasks_submitted": 0}
                 ),
+                "cache": (
+                    self.cache.stats() if self.cache is not None
+                    else {"capacity": 0}
+                ),
+                "coalesce": (
+                    self.coalescer.stats() if self.coalescer is not None
+                    else {"window_ms": 0.0}
+                ),
+                "admission": {
+                    "max_queue_depth": self.max_queue_depth,
+                    "queue_depth": queue_depth,
+                    "rejected_total": rejected.total(),
+                },
             },
             "programs": programs,
             "requests": self.request_log.tail(20),
             "metrics": self.registry.snapshot(),
         }
+
+    # -- the fast path ------------------------------------------------------
+
+    def _on_program_changed(self, program_name: str) -> None:
+        """``save_program`` invalidation fan-out (must never raise)."""
+        if self.cache is not None:
+            self.cache.invalidate_program(program_name)
+        if self.coalescer is not None:
+            self.coalescer.invalidate(program_name)
+
+    def _try_admit(self) -> bool:
+        """Claim one conversion-queue slot; False means shed the load."""
+        with self._queue_lock:
+            if (
+                self.max_queue_depth is not None
+                and self._queue_depth >= self.max_queue_depth
+            ):
+                return False
+            self._queue_depth += 1
+            depth = self._queue_depth
+        self.registry.gauge(
+            "serve.queue_depth", "conversions executing or queued"
+        ).set(depth)
+        return True
+
+    def _release_queue_slot(self) -> None:
+        with self._queue_lock:
+            self._queue_depth -= 1
+            depth = self._queue_depth
+        self.registry.gauge(
+            "serve.queue_depth", "conversions executing or queued"
+        ).set(depth)
+
+    def _retry_after_s(self, program_name: str) -> int:
+        """A ``Retry-After`` estimate for a shed request: the time for
+        the queue ahead of it to drain at the program's typical (p50)
+        latency, clamped to [1, 30] seconds."""
+        p50_ms = self.registry.histogram(
+            "serve.latency_ms", "request latency (ms)",
+            buckets=LATENCY_MS_BUCKETS,
+        ).percentile(0.5, program=program_name)
+        if p50_ms is None or not math.isfinite(p50_ms):
+            return 1
+        with self._queue_lock:
+            depth = self._queue_depth
+        return max(1, min(30, math.ceil(depth * p50_ms / 1000.0)))
 
     # -- the conversion path ------------------------------------------------
 
@@ -339,13 +474,13 @@ class MediatorServer:
         )
         inflight.inc()
         start = time.perf_counter()
-        status, payload, counts = 500, {}, {}
+        status, payload, counts, cache_hit = 500, {}, {}, False
         try:
             with collecting(self.registry), recording(recorder), \
                     tracing(provenance):
                 with span("serve.request", category="serve",
                           program=program_name, trace_id=trace_id):
-                    status, payload, counts = self._execute(
+                    status, payload, counts, cache_hit = self._serve_request(
                         program_name, body, to, include_output, delay_ms
                     )
         except YatError as exc:
@@ -357,11 +492,52 @@ class MediatorServer:
             inflight.dec()
             self._account(
                 program_name, trace_id, status, latency_ms, payload, counts,
-                recorder, provenance,
+                recorder, provenance, cache_hit=cache_hit,
             )
         payload.setdefault("trace_id", trace_id)
         payload["latency_ms"] = round(latency_ms, 3)
         return status, payload
+
+    def _serve_request(
+        self, program_name: str, body: str, to: str,
+        include_output: bool, delay_ms: float,
+    ) -> Tuple[int, Dict[str, object], Dict[str, object], bool]:
+        """Cache lookup -> admission control -> execution -> cache fill.
+
+        Returns ``(status, payload, counts, cache_hit)``. Requests with
+        a test delay bypass the cache entirely (they exist to hold the
+        queue open deterministically). The cached payload core carries
+        no trace id or latency — those are stamped per request by
+        :meth:`convert` — and a hit performs no interpreter work, so
+        its span tree and provenance stay empty apart from the request
+        span itself (never replaying the original run's lineage).
+        """
+        cache_key = None
+        if self.cache is not None and not delay_ms:
+            cache_key = self.cache.key(program_name, body, to, include_output)
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                status, payload, counts = hit
+                payload["cache_hit"] = True
+                return status, payload, counts, True
+        if not self._try_admit():
+            self.registry.counter(
+                "serve.rejected", "requests shed by admission control"
+            ).inc(program=program_name)
+            retry_after = self._retry_after_s(program_name)
+            return 429, {
+                "error": "overloaded: conversion queue is full",
+                "retry_after_s": retry_after,
+            }, {}, False
+        try:
+            status, payload, counts = self._execute(
+                program_name, body, to, include_output, delay_ms
+            )
+        finally:
+            self._release_queue_slot()
+        if cache_key is not None and status == 200:
+            self.cache.put(cache_key, status, payload, counts)
+        return status, payload, counts, False
 
     def _execute(
         self, program_name: str, body: str, to: str,
@@ -379,9 +555,20 @@ class MediatorServer:
         with span("serve.parse", category="serve"):
             documents = parse_sgml_many(body)
             store = SgmlImportWrapper().to_store(documents)
-        result = self.system.run(
-            program, store, workers=self.workers, executor=self.executor
-        )
+        if self.coalescer is not None and not delay_ms:
+            # Micro-batching: merge with concurrent same-program
+            # requests; one leader runs the batch, this thread gets its
+            # own shard's result back (byte-identical to a solo run —
+            # see repro.serve.coalesce).
+            recorder = ambient_recorder()
+            result = self.coalescer.convert(
+                program_name, program, store,
+                trace_id=recorder.trace_id if recorder is not None else None,
+            )
+        else:
+            result = self.system.run(
+                program, store, workers=self.workers, executor=self.executor
+            )
         counts = {
             "input_trees": len(store),
             "output_trees": len(result.store),
@@ -412,12 +599,15 @@ class MediatorServer:
 
     def _account(
         self, program_name, trace_id, status, latency_ms, payload, counts,
-        recorder, provenance,
+        recorder, provenance, cache_hit: bool = False,
     ) -> None:
         self.registry.counter(
             "serve.requests", "conversion requests served"
         ).inc(program=program_name, status=str(status))
-        if status >= 400:
+        if status >= 400 and status != 429:
+            # 429s are deliberate load shedding, not failures: they get
+            # their own serve.rejected counter (incremented at the
+            # admission gate) instead of polluting the error rate.
             self.registry.counter("serve.errors", "failed requests").inc(
                 program=program_name, status=str(status)
             )
@@ -435,11 +625,15 @@ class MediatorServer:
             "unconverted": counts.get("unconverted", 0),
             "warnings": counts.get("warnings", 0),
         }
+        if cache_hit:
+            entry["cache_hit"] = True
         if "error" in payload:
             entry["error"] = payload["error"]
         logged = self.request_log.append(**entry)
         self.traces.put(
-            trace_id, trace_payload(trace_id, recorder, provenance, logged)
+            trace_id,
+            trace_payload(trace_id, recorder, provenance, logged,
+                          cache_hit=cache_hit),
         )
 
 
@@ -602,6 +796,7 @@ class _Handler(BaseHTTPRequestHandler):
             include_output="output" in query.get("include", []),
             delay_ms=delay_ms,
         )
-        self._send_json(
-            status, payload, {"X-Trace-Id": str(payload.get("trace_id", ""))}
-        )
+        extra_headers = {"X-Trace-Id": str(payload.get("trace_id", ""))}
+        if status == 429 and "retry_after_s" in payload:
+            extra_headers["Retry-After"] = str(int(payload["retry_after_s"]))
+        self._send_json(status, payload, extra_headers)

@@ -163,14 +163,24 @@ def trace_payload(
     recorder: SpanRecorder,
     provenance,
     request: Dict[str, object],
+    cache_hit: bool = False,
 ) -> Dict[str, object]:
     """The ``GET /trace/<id>`` document: the request-log entry, the
     span tree, and the provenance records of one request, joined by
     the shared trace id (each provenance record's ``span_id`` names
-    the span it fired under)."""
-    return {
+    the span it fired under).
+
+    A result-cache hit still gets its own trace — marked
+    ``cache_hit: true`` — but its span tree holds only this request's
+    serve-side spans and its provenance is empty: the original
+    request's interpreter lineage belongs to the original trace and is
+    never replayed into the hit's."""
+    payload = {
         "trace_id": trace_id,
         "request": dict(request),
         "spans": [span_json(span) for span in recorder.spans()],
         "provenance": provenance.to_json() if provenance is not None else None,
     }
+    if cache_hit:
+        payload["cache_hit"] = True
+    return payload

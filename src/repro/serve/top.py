@@ -9,6 +9,7 @@ is unit-testable as a pure string function.
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 import urllib.error
@@ -18,8 +19,8 @@ from typing import Dict, Optional, TextIO
 CLEAR = "\x1b[2J\x1b[H"
 
 _TABLE_HEADER = (
-    f"{'PROGRAM':<28} {'REQS':>8} {'REQ/S':>8} {'ERR':>6} "
-    f"{'P50MS':>8} {'P95MS':>8} {'P99MS':>8}"
+    f"{'PROGRAM':<28} {'REQS':>8} {'REQ/S':>8} {'ERR':>6} {'REJ':>6} "
+    f"{'HIT%':>6} {'P50MS':>8} {'P95MS':>8} {'P99MS':>8}"
 )
 
 
@@ -31,7 +32,25 @@ def fetch_stats(url: str, timeout: float = 5.0) -> Dict[str, object]:
 
 
 def _ms(value: Optional[float]) -> str:
-    return "-" if value is None else f"{float(value):.1f}"
+    """A latency cell: absent/None/non-finite render as the ``-``
+    placeholder (a stats payload never should contain NaN percentiles,
+    but a dashboard must not print ``nan`` if one does)."""
+    if value is None:
+        return "-"
+    number = float(value)
+    if not math.isfinite(number):
+        return "-"
+    return f"{number:.1f}"
+
+
+def _hit_pct(entry: Dict[str, object]) -> str:
+    """Result-cache hit rate for one program row (``-`` before any
+    traffic)."""
+    requests = float(entry.get("requests", 0))
+    if not requests:
+        return "-"
+    hits = float(entry.get("cache_hits", 0))
+    return f"{hits / requests * 100:.0f}"
 
 
 def _rate(
@@ -72,9 +91,32 @@ def render(
         f"requests {int(requests_total)}   "
         f"errors {int(errors_total)} ({error_pct:.1f}%)   "
         f"traces retained {int(server.get('traces_retained', 0))}",
-        "",
-        _TABLE_HEADER,
     ]
+    fast_path = []
+    cache = server.get("cache", {})
+    if cache.get("capacity"):
+        hit_rate = cache.get("hit_rate")
+        hit = f" (hit {float(hit_rate) * 100:.0f}%)" if hit_rate is not None else ""
+        fast_path.append(
+            f"cache {int(float(cache.get('size', 0)))}/"
+            f"{int(float(cache.get('capacity', 0)))}{hit}"
+        )
+    admission = server.get("admission", {})
+    if admission.get("max_queue_depth"):
+        fast_path.append(
+            f"queue {int(float(admission.get('queue_depth', 0)))}/"
+            f"{int(float(admission.get('max_queue_depth', 0)))} "
+            f"rejected {int(float(admission.get('rejected_total', 0)))}"
+        )
+    coalesce = server.get("coalesce", {})
+    if coalesce.get("window_ms"):
+        fast_path.append(
+            f"coalesce {coalesce.get('window_ms')}ms "
+            f"batches {int(float(coalesce.get('batches', 0) or 0))}"
+        )
+    if fast_path:
+        lines.append("   ".join(fast_path))
+    lines.extend(["", _TABLE_HEADER])
     programs: Dict[str, Dict[str, object]] = stats.get("programs", {})
     if not programs:
         lines.append("  (no conversion requests yet)")
@@ -86,6 +128,8 @@ def render(
             f"{program[:28]:<28} {int(requests):>8} "
             f"{_rate(program, requests, previous, dt):>8} "
             f"{int(float(entry.get('errors', 0))):>6} "
+            f"{int(float(entry.get('rejected', 0))):>6} "
+            f"{_hit_pct(entry):>6} "
             f"{_ms(latency.get('p50')):>8} "
             f"{_ms(latency.get('p95')):>8} "
             f"{_ms(latency.get('p99')):>8}"

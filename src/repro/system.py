@@ -74,6 +74,13 @@ class YatSystem:
         # request would dominate small-payload latency.
         self._program_cache: Dict[str, Program] = {}
         self._program_cache_lock = threading.Lock()
+        # Invalidation fan-out: save_program already evicts the parsed
+        # program from this cache, but long-running servers hold more
+        # derived state keyed by program name (conversion result
+        # caches, coalescer shard specs). They subscribe here so one
+        # save invalidates every layer atomically from the caller's
+        # point of view.
+        self._invalidation_listeners: List = []
 
     def _tracing(self):
         """The ambient-provenance context for run-time operations: a
@@ -123,12 +130,26 @@ class YatSystem:
         ).set(len(warmed))
         return warmed
 
+    def add_invalidation_listener(self, listener) -> None:
+        """Subscribe ``listener(program_name)`` to program-change
+        events: called (after the parsed-program cache eviction) every
+        time :meth:`save_program` persists a program, so serving-side
+        caches keyed by program name can drop derived state. Listeners
+        must be fast and must not raise."""
+        with self._program_cache_lock:
+            self._invalidation_listeners.append(listener)
+
     def save_program(self, program: Program) -> str:
         name = self.library.save_program(program)
         # The library text changed: drop the stale parsed Program so a
-        # long-running server's next load re-parses the new version.
+        # long-running server's next load re-parses the new version,
+        # then notify subscribed caches (conversion results, coalescer
+        # specs) before any caller can observe the save.
         with self._program_cache_lock:
             self._program_cache.pop(name, None)
+            listeners = list(self._invalidation_listeners)
+        for listener in listeners:
+            listener(name)
         return name
 
     def import_model(self, name: str) -> Model:

@@ -171,6 +171,25 @@ class TestHistogram:
         assert series["p99"] > series["p50"]
         json.dumps(registry.snapshot())
 
+    def test_empty_series_snapshot_omits_percentile_keys(self):
+        """Percentiles of zero finite observations do not exist: the
+        snapshot omits the keys entirely — never null, never NaN — so
+        every JSON surface (snapshot, /stats, Prometheus) agrees."""
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 10)).observe(math.nan)
+        series = registry.snapshot()["h"]["series"][0]
+        assert "p50" not in series
+        assert "p95" not in series
+        assert "p99" not in series
+        assert series["count"] == 0
+        assert series["nonfinite"] == 1
+
+    def test_populated_series_snapshot_keeps_percentile_keys(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 10)).observe(5)
+        series = registry.snapshot()["h"]["series"][0]
+        assert "p50" in series and "p95" in series and "p99" in series
+
     def test_nonfinite_survives_snapshot(self):
         registry = MetricsRegistry()
         registry.histogram("h").observe(math.inf)

@@ -1,0 +1,178 @@
+"""The conversion result cache: keying, LRU bounds, coherence, and the
+server-side hit path (metrics + traces for cached responses)."""
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.serve import MediatorServer, ResultCache, canonical_key
+from repro.workloads import brochure_sgml
+
+PROGRAM = "SgmlBrochuresToOdmg"
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("warm", False)
+    server = MediatorServer(**kwargs)
+    server.warm_now()
+    return server
+
+
+def core(payload):
+    """A response payload minus the per-request stamps."""
+    return {
+        key: value for key, value in payload.items()
+        if key not in ("trace_id", "latency_ms", "cache_hit")
+    }
+
+
+class TestCanonicalKey:
+    def test_whitespace_framing_is_canonicalized(self):
+        assert canonical_key("P", "  <a>1</a>\n") == canonical_key("P", "<a>1</a>")
+
+    def test_body_differences_split_the_key(self):
+        assert canonical_key("P", "<a>1</a>") != canonical_key("P", "<a>2</a>")
+
+    def test_rendering_options_split_the_key(self):
+        base = canonical_key("P", "<a>1</a>")
+        assert canonical_key("P", "<a>1</a>", to="html") != base
+        assert canonical_key("P", "<a>1</a>", include_output=True) != base
+
+    def test_program_prefixes_the_key(self):
+        assert canonical_key("P", "<a>1</a>") != canonical_key("Q", "<a>1</a>")
+
+
+class TestResultCache:
+    def test_rejects_non_positive_capacity(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(4, MetricsRegistry())
+        key = cache.key(PROGRAM, "<a>1</a>")
+        assert cache.get(key) is None
+        cache.put(key, 200, {"x": 1}, {"input_trees": 1})
+        assert cache.get(key) == (200, {"x": 1}, {"input_trees": 1})
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_hits_hand_out_copies(self):
+        cache = ResultCache(4)
+        key = cache.key(PROGRAM, "<a>1</a>")
+        cache.put(key, 200, {"x": 1}, {})
+        _, payload, _ = cache.get(key)
+        payload["trace_id"] = "stamped"
+        assert "trace_id" not in cache.get(key)[1]
+
+    def test_lru_eviction_drops_oldest(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(2, registry)
+        keys = [cache.key(PROGRAM, f"<a>{i}</a>") for i in range(3)]
+        cache.put(keys[0], 200, {}, {})
+        cache.put(keys[1], 200, {}, {})
+        assert cache.get(keys[0]) is not None  # promote 0 over 1
+        cache.put(keys[2], 200, {}, {})
+        assert cache.get(keys[1]) is None  # 1 was least recently used
+        assert cache.get(keys[0]) is not None
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_invalidate_program_is_scoped(self):
+        cache = ResultCache(8)
+        mine = cache.key(PROGRAM, "<a>1</a>")
+        other = cache.key("Other", "<a>1</a>")
+        cache.put(mine, 200, {}, {})
+        cache.put(other, 200, {}, {})
+        assert cache.invalidate_program(PROGRAM) == 1
+        assert cache.get(mine) is None
+        assert cache.get(other) is not None
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestServerCachePath:
+    def test_repeat_request_is_a_hit_with_identical_payload(self):
+        server = make_server()
+        body = brochure_sgml(3, distinct_suppliers=2)
+        status1, first = server.convert(PROGRAM, body, include_output=True)
+        status2, second = server.convert(PROGRAM, body, include_output=True)
+        assert status1 == status2 == 200
+        assert "cache_hit" not in first
+        assert second["cache_hit"] is True
+        assert core(first) == core(second)
+        assert second["trace_id"] != first["trace_id"]
+        assert server.cache.stats()["hits"] == 1
+
+    def test_hit_emits_red_metrics_and_its_own_trace(self):
+        server = make_server()
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        _, hit = server.convert(PROGRAM, body)
+        requests = server.registry.counter(
+            "serve.requests", "conversion requests served"
+        ).total()
+        assert requests == 2  # hits are requests too
+        trace = server.traces.get(hit["trace_id"])
+        assert trace["cache_hit"] is True
+        # The hit never replays the original request's lineage: no
+        # interpreter spans, no provenance records.
+        categories = {span["category"] for span in trace["spans"]}
+        assert categories <= {"serve"}
+        assert trace["provenance"]["records"] == []
+        assert trace["provenance"]["origins"] == {}
+
+    def test_request_log_marks_hits(self):
+        server = make_server()
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        server.convert(PROGRAM, body)
+        tail = server.request_log.tail(2)
+        assert "cache_hit" not in tail[0]
+        assert tail[1]["cache_hit"] is True
+
+    def test_save_program_invalidates(self):
+        server = make_server()
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        assert len(server.cache) == 1
+        program = server.system.load_program_cached(PROGRAM)
+        server.system.save_program(program)
+        assert len(server.cache) == 0
+        # The next request re-executes (a miss), then re-caches.
+        _, payload = server.convert(PROGRAM, body)
+        assert "cache_hit" not in payload
+        assert len(server.cache) == 1
+
+    def test_error_responses_are_not_cached(self):
+        server = make_server()
+        status, _ = server.convert(PROGRAM, "<broken")
+        assert status == 400
+        assert len(server.cache) == 0
+
+    def test_rendering_options_are_separate_entries(self):
+        server = make_server()
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        _, trees = server.convert(PROGRAM, body, include_output=True)
+        assert "cache_hit" not in trees  # different key -> miss
+        assert len(server.cache) == 2
+
+    def test_cache_disabled_by_zero_size(self):
+        server = make_server(cache_size=0)
+        assert server.cache is None
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        _, second = server.convert(PROGRAM, body)
+        assert "cache_hit" not in second
+
+    def test_stats_exposes_cache_block(self):
+        server = make_server()
+        body = brochure_sgml(2)
+        server.convert(PROGRAM, body)
+        server.convert(PROGRAM, body)
+        stats = server.stats()
+        block = stats["server"]["cache"]
+        assert block["size"] == 1 and block["hits"] == 1
+        assert stats["programs"][PROGRAM]["cache_hits"] == 1.0
+        json.dumps(stats)  # the whole document stays JSON-serializable

@@ -1,0 +1,179 @@
+"""Request coalescing: byte-identity with solo execution, batching
+behavior, per-request trace isolation, and failure propagation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import YatError
+from repro.serve import Coalescer, MediatorServer
+from repro.workloads import brochure_sgml
+
+PROGRAM = "SgmlBrochuresToOdmg"
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("warm", False)
+    kwargs.setdefault("cache_size", 0)  # isolate coalescing from caching
+    server = MediatorServer(**kwargs)
+    server.warm_now()
+    return server
+
+
+def core(payload):
+    return {
+        key: value for key, value in payload.items()
+        if key not in ("trace_id", "latency_ms")
+    }
+
+
+def convert_concurrently(server, bodies, **kwargs):
+    results = [None] * len(bodies)
+
+    def run(index, body):
+        results[index] = server.convert(PROGRAM, body, **kwargs)
+
+    threads = [
+        threading.Thread(target=run, args=(index, body))
+        for index, body in enumerate(bodies)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestCoalescerUnit:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            Coalescer(window_s=0)
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            Coalescer(window_s=0.01, max_batch=1)
+
+    def test_server_validates_flags(self):
+        with pytest.raises(ValueError):
+            MediatorServer(port=0, warm=False, coalesce_window_ms=-1)
+        with pytest.raises(ValueError):
+            MediatorServer(port=0, warm=False, cache_size=-1)
+        with pytest.raises(ValueError):
+            MediatorServer(port=0, warm=False, max_queue_depth=0)
+
+
+class TestByteIdentity:
+    def test_coalesced_equals_solo(self):
+        body = brochure_sgml(3, distinct_suppliers=2)
+        solo = make_server()
+        _, baseline = solo.convert(PROGRAM, body, include_output=True)
+        coalesced = make_server(coalesce_window_ms=25.0)
+        results = convert_concurrently(
+            coalesced, [body] * 5, include_output=True
+        )
+        batches = coalesced.registry.counter(
+            "serve.coalesce.batches", "coalesced batch runs"
+        ).total()
+        assert batches >= 1
+        expected = json.dumps(core(baseline), sort_keys=True)
+        for status, payload in results:
+            assert status == 200
+            assert json.dumps(core(payload), sort_keys=True) == expected
+
+    def test_members_do_not_share_skolem_identifiers(self):
+        # Request isolation: two clients converting the same supplier
+        # each get their own identifier space, exactly as if alone.
+        body = brochure_sgml(2, distinct_suppliers=1)
+        server = make_server(coalesce_window_ms=25.0)
+        results = convert_concurrently(
+            server, [body] * 3, include_output=True
+        )
+        outputs = [payload["output"] for _, payload in results]
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_distinct_bodies_in_one_batch_stay_distinct(self):
+        bodies = [
+            brochure_sgml(2, distinct_suppliers=1),
+            brochure_sgml(4, distinct_suppliers=2),
+        ]
+        server = make_server(coalesce_window_ms=25.0)
+        (s1, p1), (s2, p2) = convert_concurrently(
+            server, bodies, include_output=True
+        )
+        assert s1 == s2 == 200
+        assert p1["input_trees"] == 2 and p2["input_trees"] == 4
+        assert p1["output"] != p2["output"]
+
+
+class TestBatching:
+    def test_sequential_requests_form_singleton_batches(self):
+        body = brochure_sgml(2)
+        server = make_server(coalesce_window_ms=1.0)
+        server.convert(PROGRAM, body)
+        server.convert(PROGRAM, body)
+        stats = server.stats()["server"]["coalesce"]
+        assert stats["batches"] == 2
+        assert stats["requests"] == 2
+
+    def test_max_batch_closes_early(self):
+        body = brochure_sgml(2)
+        # A huge window would park the leader for 10s — max_batch=2
+        # must close the batch as soon as the second member joins.
+        server = make_server(
+            coalesce_window_ms=10_000.0, coalesce_max_batch=2
+        )
+        results = convert_concurrently(server, [body] * 2)
+        assert all(status == 200 for status, _ in results)
+
+    def test_roles_are_counted(self):
+        body = brochure_sgml(2)
+        server = make_server(coalesce_window_ms=25.0)
+        convert_concurrently(server, [body] * 4)
+        counter = server.registry.counter(
+            "serve.coalesce.requests",
+            "requests served through the coalescer",
+        )
+        roles = {
+            labels["role"]: value for labels, value in counter.samples()
+        }
+        assert sum(roles.values()) == 4
+        assert roles.get("leader", 0) >= 1
+
+    def test_spec_cache_invalidated_by_save_program(self):
+        body = brochure_sgml(2)
+        server = make_server(coalesce_window_ms=1.0)
+        server.convert(PROGRAM, body)
+        assert PROGRAM in server.coalescer._specs
+        server.system.save_program(server.system.load_program_cached(PROGRAM))
+        assert PROGRAM not in server.coalescer._specs
+
+
+class TestTraceIsolation:
+    def test_each_member_gets_its_own_trace(self):
+        body = brochure_sgml(2, distinct_suppliers=1)
+        server = make_server(coalesce_window_ms=25.0)
+        results = convert_concurrently(server, [body] * 3)
+        trace_ids = {payload["trace_id"] for _, payload in results}
+        assert len(trace_ids) == 3
+        for _, payload in results:
+            trace = server.traces.get(payload["trace_id"])
+            assert trace is not None
+            # The member's trace holds only its own shard's spans.
+            for span in trace["spans"]:
+                assert span.get("trace_id") in (None, payload["trace_id"])
+
+
+class TestFailurePropagation:
+    def test_bad_program_name_fails_each_member(self):
+        server = make_server(coalesce_window_ms=25.0)
+        status, payload = server.convert("NoSuchProgram", "<a>1</a>")
+        assert status == 404
+
+    def test_parse_errors_stay_per_request(self):
+        server = make_server(coalesce_window_ms=25.0)
+        good = brochure_sgml(2)
+        results = convert_concurrently(server, [good, "<broken"])
+        statuses = sorted(status for status, _ in results)
+        assert statuses == [200, 400]

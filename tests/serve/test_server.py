@@ -356,6 +356,71 @@ class TestConcurrency:
             )
 
 
+class TestAdmissionControl:
+    @pytest.fixture
+    def tiny_server(self):
+        instance = MediatorServer(
+            port=0, warm=False, allow_test_delay=True,
+            cache_size=0, max_queue_depth=1,
+        )
+        instance.warm_now()
+        instance.start()
+        yield instance
+        instance.stop()
+
+    def test_overload_returns_429_with_retry_after(self, tiny_server, payload):
+        held = []
+
+        def hold():
+            held.append(post_convert(
+                tiny_server, payload, query="?delay_ms=600"
+            ))
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        deadline = time.monotonic() + 5.0
+        shed = None
+        while time.monotonic() < deadline:
+            status, body, headers = post_convert(tiny_server, payload)
+            if status == 429:
+                shed = (status, body, headers)
+                break
+            time.sleep(0.02)
+        holder.join()
+        assert shed is not None, "never observed a 429 while a slot was held"
+        status, body, headers = shed
+        assert "overloaded" in body["error"]
+        assert int(headers["Retry-After"]) >= 1
+        assert body["retry_after_s"] >= 1
+        # the held request itself completed normally
+        assert held[0][0] == 200
+
+    def test_shed_requests_are_not_errors(self, tiny_server, payload):
+        def hold():
+            post_convert(tiny_server, payload, query="?delay_ms=400")
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        time.sleep(0.1)
+        status, _, _ = post_convert(tiny_server, payload)
+        holder.join()
+        if status == 429:  # load shedding is not an error
+            assert tiny_server.registry.counter("serve.errors").total() == 0
+            assert tiny_server.registry.counter(
+                "serve.rejected", "requests shed by admission control"
+            ).total() == 1
+            stats = tiny_server.stats()
+            assert stats["server"]["admission"]["rejected_total"] == 1
+            assert stats["programs"][PROGRAM]["rejected"] == 1.0
+
+    def test_slots_free_after_drain(self, tiny_server, payload):
+        status, _, _ = post_convert(tiny_server, payload)
+        assert status == 200
+        status, _, _ = post_convert(tiny_server, payload)
+        assert status == 200
+        assert tiny_server.stats()["server"]["admission"]["queue_depth"] == 0
+
+
 class TestGracefulShutdown:
     def test_stop_drains_inflight_request(self, payload):
         """stop() mid-request must let the in-flight conversion finish

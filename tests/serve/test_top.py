@@ -77,6 +77,58 @@ class TestRender:
         line = next(l for l in frame.splitlines() if l.startswith("P "))
         assert line.split()[-3:] == ["-", "-", "-"]
 
+    def test_nonfinite_percentiles_render_as_dash(self):
+        """A malformed stats payload with NaN/inf percentiles must
+        still render the placeholder, never the string 'nan'."""
+        stats = {
+            "server": {"requests_total": 1},
+            "programs": {"P": {"requests": 1, "errors": 0,
+                               "latency_ms": {"p50": float("nan"),
+                                              "p95": float("inf"),
+                                              "p99": 3.0}}},
+            "requests": [],
+        }
+        frame = render(stats, "http://x:1")
+        line = next(l for l in frame.splitlines() if l.startswith("P "))
+        assert "nan" not in line and "inf" not in line
+        assert line.split()[-3:] == ["-", "-", "3.0"]
+
+    def test_fast_path_columns_and_header_line(self):
+        stats = {
+            "server": {
+                "requests_total": 10, "errors_total": 0,
+                "cache": {"capacity": 256, "size": 4, "hit_rate": 0.5},
+                "admission": {"max_queue_depth": 8, "queue_depth": 1,
+                              "rejected_total": 2},
+                "coalesce": {"window_ms": 2.0, "batches": 3},
+            },
+            "programs": {"P": {"requests": 10, "errors": 0, "rejected": 2,
+                               "cache_hits": 5,
+                               "latency_ms": {"p50": 1.0, "p95": 2.0,
+                                              "p99": 3.0}}},
+            "requests": [],
+        }
+        frame = render(stats, "http://x:1")
+        assert "cache 4/256 (hit 50%)" in frame
+        assert "queue 1/8 rejected 2" in frame
+        assert "coalesce 2.0ms batches 3" in frame
+        assert "REJ" in frame and "HIT%" in frame
+        line = next(l for l in frame.splitlines() if l.startswith("P "))
+        columns = line.split()
+        assert columns[3] == "0"    # ERR
+        assert columns[4] == "2"    # REJ
+        assert columns[5] == "50"   # HIT%
+
+    def test_no_fast_path_line_when_disabled(self):
+        stats = {
+            "server": {"requests_total": 0, "cache": {"capacity": 0},
+                       "admission": {"max_queue_depth": None},
+                       "coalesce": {"window_ms": 0.0}},
+            "programs": {}, "requests": [],
+        }
+        frame = render(stats, "http://x:1")
+        assert "cache" not in frame and "queue" not in frame
+
 
 class TestRunTop:
     def test_polls_live_server(self):

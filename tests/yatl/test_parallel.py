@@ -24,6 +24,7 @@ from repro.parallel import (
     plan_chunks_by_count,
     resolve_chunk_size,
     run_sharded,
+    shard_result,
 )
 from repro.workloads import brochure_trees
 from repro.yatl import Interpreter
@@ -342,6 +343,104 @@ class TestPickling:
         # Degradation must not leak into the result's own warnings —
         # byte-identity with workers=1 includes the warning list.
         assert byte_view(degraded) == byte_view(clean)
+
+    def test_degradation_warns_exactly_once_per_run(self, brochures_program):
+        """A 3-shard degraded run must emit ONE RuntimeWarning, not one
+        per shard (run_sharded is one Program.run call)."""
+        spec = Interpreter(brochures_program.rules).shard_spec()
+        spec.model = lambda: None
+        store = DataStore()
+        for index, node in enumerate(
+            brochure_trees(6, distinct_suppliers=2), start=1
+        ):
+            store.add(f"in{index}", node)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_sharded(spec, store, workers=2, chunk_size=2)
+        degradations = [
+            warning for warning in caught
+            if issubclass(warning.category, RuntimeWarning)
+            and "degraded" in str(warning.message)
+        ]
+        assert len(degradations) == 1
+
+    def test_unpicklable_shard_items_degrade_with_one_warning(
+        self, brochures_program
+    ):
+        """Spec pickling can succeed while a shard's *items* cannot
+        cross the process boundary: the run degrades to serial shards
+        (still byte-identical output) with a single warning."""
+        spec = Interpreter(brochures_program.rules).shard_spec()
+        assert pickle.dumps(spec)  # the failure is per-item, not spec
+        store = DataStore()
+        for index, node in enumerate(
+            brochure_trees(6, distinct_suppliers=2), start=1
+        ):
+            store.add(f"in{index}", node)
+        class Sneaky(str):
+            """A valid atom label whose local class pickle cannot
+            resolve — the shard item poisons the pool submission."""
+
+        poison = tree("brochure", tree("payload", Tree(Sneaky("boom"))))
+        store.add("poison", poison)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = run_sharded(spec, store, workers=2, chunk_size=2)
+        assert degraded.parallel["mode"] == "serial"
+        degradations = [
+            warning for warning in caught
+            if issubclass(warning.category, RuntimeWarning)
+            and "degraded" in str(warning.message)
+        ]
+        assert len(degradations) == 1
+        assert "not picklable" in str(degradations[0].message)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            clean = run_sharded(
+                Interpreter(brochures_program.rules).shard_spec(),
+                store, workers=1, chunk_size=2,
+            )
+        assert byte_view(degraded) == byte_view(clean)
+
+
+class TestShardResult:
+    def test_single_shard_rehydrates_byte_identically(
+        self, brochures_program
+    ):
+        """shard_result on one shard == running that forest solo: the
+        coalescer's byte-identity contract."""
+        interpreter = Interpreter(brochures_program.rules)
+        spec = interpreter.shard_spec()
+        items = [
+            (f"in{index}", node)
+            for index, node in enumerate(
+                brochure_trees(3, distinct_suppliers=2), start=1
+            )
+        ]
+        store = DataStore()
+        for name, node in items:
+            store.add(name, node)
+        payload = _execute_shard(spec, 0, items)
+        rehydrated = shard_result(payload, store)
+        solo = interpreter.run_local(store)
+        assert byte_view(rehydrated) == byte_view(solo)
+        # counts too — a served response exposes these
+        assert len(rehydrated.store) == len(solo.store)
+        assert len(rehydrated.unconverted) == len(solo.unconverted)
+
+    def test_metrics_fold_into_given_registry(self, brochures_program):
+        spec = Interpreter(brochures_program.rules).shard_spec()
+        items = [
+            (f"in{index}", node)
+            for index, node in enumerate(brochure_trees(2), start=1)
+        ]
+        store = DataStore()
+        for name, node in items:
+            store.add(name, node)
+        registry = MetricsRegistry()
+        shard_result(_execute_shard(spec, 0, items), store, registry=registry)
+        assert registry.counter("yatl.rule.applications").total() > 0
 
 
 # ---------------------------------------------------------------------------
