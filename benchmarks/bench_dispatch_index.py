@@ -29,6 +29,12 @@ reporting its overhead against the recorder-off indexed leg and
 asserting the output store stays byte-identical. With
 ``--max-overhead-pct`` the benchmark exits non-zero when the recorder
 costs more than the budget — the CI guardrail for the <5% target.
+
+``--sampler`` adds the analogous leg for the wall-clock sampling
+profiler (``repro.obs.profile``, at ``--sampler-hz``): the indexed
+configuration re-run under ``profiling()``, with
+``--sampler-max-overhead-pct`` as the CI guardrail that default-rate
+sampling stays effectively free.
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ except ImportError:  # pytest collects this file as benchmarks.bench_*
         write_report,
     )
 
-from repro.obs import ProvenanceStore, tracing  # noqa: E402
+from repro.obs import DEFAULT_HZ, ProvenanceStore, profiling, tracing  # noqa: E402
 from repro.workloads import (  # noqa: E402
     dealer_document_program,
     dealer_document_store,
@@ -102,6 +108,22 @@ def main(argv=None) -> int:
         "--max-overhead-pct", type=float, default=None, metavar="PCT",
         help="fail (exit 1) when the provenance leg is more than PCT "
              "percent slower than the recorder-off indexed leg",
+    )
+    parser.add_argument(
+        "--sampler", action="store_true",
+        help="add an indexed leg run under the wall-clock sampling "
+             "profiler and report its overhead",
+    )
+    parser.add_argument(
+        "--sampler-hz", type=float, default=DEFAULT_HZ, metavar="HZ",
+        help=f"sampling rate for the --sampler leg "
+             f"(default {DEFAULT_HZ:g})",
+    )
+    parser.add_argument(
+        "--sampler-max-overhead-pct", type=float, default=None,
+        metavar="PCT",
+        help="fail (exit 1) when the sampler leg is more than PCT "
+             "percent slower than the profiler-off indexed leg",
     )
     args = parser.parse_args(argv)
 
@@ -215,6 +237,57 @@ def main(argv=None) -> int:
                 print(
                     f"FAIL: recorder overhead {overhead_pct:.2f}% exceeds "
                     f"the {args.max_overhead_pct:.2f}% budget"
+                )
+                exit_code = 1
+
+        if args.sampler:
+            sampler_state = {}
+
+            def plain_leg():
+                _elapsed, result = run_once(program, store, use_index=True)
+                return result
+
+            def sampled_leg():
+                with profiling(hz=args.sampler_hz) as profiler:
+                    _elapsed, result = run_once(
+                        program, store, use_index=True
+                    )
+                sampler_state["profile"] = profiler.profile
+                sampler_state["result"] = result
+                return result
+
+            sampler_pct, plain_time, sampled_time = pairwise_overhead_pct(
+                plain_leg, sampled_leg, args.repeat
+            )
+            profile = sampler_state["profile"]
+            sampled_result = sampler_state["result"]
+            print(
+                f"  +sampler : {sampled_time * 1000:9.1f} ms  "
+                f"({sampler_pct:+.2f}% vs {plain_time * 1000:.1f} ms "
+                f"profiler-off, {profile.sample_count} sample(s) at "
+                f"{args.sampler_hz:g}hz)"
+            )
+            leg_data = leg_report(sampled_time, sampled_result)
+            leg_data["hz"] = args.sampler_hz
+            leg_data["samples"] = profile.sample_count
+            leg_data["baseline_wall_ms"] = round(plain_time * 1000, 3)
+            leg_data["overhead_pct"] = round(sampler_pct, 3)
+            report["legs"]["indexed_sampler"] = leg_data
+
+            sampler_same = list(sampled_result.store.items()) == list(
+                indexed_result.store.items()
+            )
+            report["sampler_identical_outputs"] = sampler_same
+            if not sampler_same:
+                print("FAIL: sampling changed the output store")
+                exit_code = 1
+            if (
+                args.sampler_max_overhead_pct is not None
+                and sampler_pct > args.sampler_max_overhead_pct
+            ):
+                print(
+                    f"FAIL: sampler overhead {sampler_pct:.2f}% exceeds "
+                    f"the {args.sampler_max_overhead_pct:.2f}% budget"
                 )
                 exit_code = 1
 

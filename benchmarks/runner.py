@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import statistics
+import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -131,10 +133,37 @@ def leg_report(
     return report
 
 
+def _git_sha() -> Optional[str]:
+    """The current commit, or None outside a work tree / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def host_info() -> Dict[str, object]:
+    """Where and on what a benchmark ran — stamped into every report so
+    ``benchmarks/compare.py`` can tell comparable artifacts (same
+    machine shape) from apples-to-oranges ones."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_sha": _git_sha(),
+    }
+
+
 def write_report(report: Dict[str, object], json_path: Optional[str]) -> None:
-    """Write the JSON report when ``--json`` was given."""
+    """Write the JSON report when ``--json`` was given (host-stamped)."""
     if not json_path:
         return
+    report.setdefault("host", host_info())
     with open(json_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

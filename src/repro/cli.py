@@ -13,6 +13,8 @@ Usage::
     python -m repro convert SgmlBrochuresToOdmg brochures.sgml
     python -m repro convert my.yatl brochures.sgml --to html -o site/
     python -m repro convert O2Web data.sgml --profile profile.json
+    python -m repro convert O2Web data.sgml --flamegraph flame.txt
+    python -m repro profile SgmlBrochuresToOdmg brochures.sgml -o p.json
     python -m repro stats SgmlBrochuresToOdmg brochures.sgml --format prometheus
     python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
     python -m repro serve --port 8023                  # long-running daemon
@@ -43,6 +45,7 @@ from typing import List, Optional
 from .errors import YatError
 from .library.store import Library, standard_library
 from .obs import (
+    DEFAULT_HZ,
     EventLog,
     MetricsRegistry,
     ProvenanceStore,
@@ -50,6 +53,7 @@ from .obs import (
     collecting,
     metrics_to_json,
     metrics_to_prometheus,
+    profiling,
     record,
     recording,
     span,
@@ -160,19 +164,40 @@ def _refuse_overwrite(args, *path_attrs: str) -> Optional[str]:
     return None
 
 
+def _flamegraph_format(path: str) -> str:
+    """Flamegraph output format by extension: ``.json`` means
+    speedscope (https://speedscope.app), anything else collapsed-stack
+    text (``flamegraph.pl`` input)."""
+    return "speedscope" if path.endswith(".json") else "collapsed"
+
+
+def _write_flamegraph(path: str, profile, name: str) -> str:
+    """Write *profile* to *path* in the extension-selected format;
+    returns the format written."""
+    out_format = _flamegraph_format(path)
+    with open(path, "w") as handle:
+        if out_format == "speedscope":
+            json.dump(profile.speedscope(name), handle, sort_keys=True)
+            handle.write("\n")
+        else:
+            handle.write(profile.collapsed())
+    return out_format
+
+
 def cmd_convert(args, library: Library) -> int:
     program = _load_program(args.program, library)
-    existing = _refuse_overwrite(args, "profile", "events")
+    existing = _refuse_overwrite(args, "profile", "events", "flamegraph")
     if existing is not None:
         print(
             f"error: {existing} already exists (use --force to overwrite)",
             file=sys.stderr,
         )
         return 1
-    profiling = bool(getattr(args, "profile", None))
+    span_profiling = bool(getattr(args, "profile", None))
     eventing = bool(getattr(args, "events", None))
+    flamegraph = getattr(args, "flamegraph", None)
     registry = MetricsRegistry()
-    recorder = SpanRecorder() if profiling else None
+    recorder = SpanRecorder() if span_profiling else None
     events = EventLog() if eventing else None
     provenance = (
         ProvenanceStore(sample_rate=args.sample_rate, events=events)
@@ -180,8 +205,10 @@ def cmd_convert(args, library: Library) -> int:
         else None
     )
     with collecting(registry), (
-        recording(recorder) if profiling else nullcontext()
-    ), (tracing(provenance) if provenance is not None else nullcontext()):
+        recording(recorder) if span_profiling else nullcontext()
+    ), (tracing(provenance) if provenance is not None else nullcontext()), (
+        profiling(hz=args.hz) if flamegraph else nullcontext()
+    ) as profiler:
         with span("pipeline", program=args.program, to=args.to):
             store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
             result = program.run(
@@ -192,7 +219,17 @@ def cmd_convert(args, library: Library) -> int:
             )
             with span("export", to=args.to):
                 _emit(result, args.output, args.to)
-    if profiling:
+    if flamegraph:
+        out_format = _write_flamegraph(
+            flamegraph, profiler.profile, f"repro convert {args.program}"
+        )
+        print(
+            f"flamegraph ({out_format}, "
+            f"{profiler.profile.sample_count} sample(s)) written to "
+            f"{flamegraph}",
+            file=sys.stderr,
+        )
+    if span_profiling:
         write_profile(
             args.profile,
             registry,
@@ -213,6 +250,65 @@ def cmd_convert(args, library: Library) -> int:
         )
     if result.unconverted:
         print(f"({len(result.unconverted)} input(s) matched by no rule)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args, library: Library) -> int:
+    """Run a conversion under the sampling profiler and report where
+    the wall time went (phases + self-time leaders), optionally writing
+    a flamegraph file."""
+    program = _load_program(args.program, library)
+    existing = _refuse_overwrite(args, "out")
+    if existing is not None:
+        print(
+            f"error: {existing} already exists (use --force to overwrite)",
+            file=sys.stderr,
+        )
+        return 1
+    registry = MetricsRegistry()
+    with collecting(registry), profiling(hz=args.hz) as profiler:
+        with span("pipeline", program=args.program, to="profile"):
+            store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+            result = program.run(
+                store,
+                runtime_typing=args.runtime_typing,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
+    profile = profiler.profile
+    total = profile.total_seconds
+    print(
+        f"profiled {program.name}: {profile.sample_count} sample(s) over "
+        f"{profile.duration_s:.3f}s at {args.hz:g}hz "
+        f"({len(result.store)} output tree(s))"
+    )
+    phases = profile.phase_totals()
+    if phases:
+        print("phases:")
+        for phase, entry in phases.items():
+            seconds = entry["seconds"]
+            pct = (seconds / total * 100) if total else 0.0
+            print(
+                f"  {phase:<10} {seconds:>8.3f}s {pct:>6.1f}%  "
+                f"({int(entry['samples'])} sample(s))"
+            )
+    else:
+        print("phases: (no samples — run finished between ticks; "
+              "try --hz 500 or a larger input)")
+    leaders = profile.top_functions(limit=args.top)
+    if leaders:
+        print("top functions (self time):")
+        for entry in leaders:
+            print(
+                f"  {entry['self_seconds']:>8.3f}s  [{entry['phase']}] "
+                f"{entry['function']}"
+            )
+    if args.out:
+        out_format = _write_flamegraph(
+            args.out, profile, f"repro profile {args.program}"
+        )
+        print(f"flamegraph ({out_format}) written to {args.out}",
               file=sys.stderr)
     return 0
 
@@ -345,6 +441,8 @@ def cmd_serve(args, library: Library) -> int:
         cache_size=args.cache_size,
         coalesce_window_ms=args.coalesce_window_ms,
         max_queue_depth=args.max_queue_depth,
+        history_interval_s=args.history_interval,
+        history_capacity=args.history_capacity,
     )
     stop_requested = threading.Event()
 
@@ -359,7 +457,7 @@ def cmd_serve(args, library: Library) -> int:
     print(
         f"repro serve listening on http://{server.host}:{server.port} "
         f"(endpoints: POST /convert/<program>, GET /metrics /healthz "
-        f"/readyz /stats /trace/<id>)",
+        f"/readyz /stats /stats/history /debug/profile /trace/<id>)",
         file=sys.stderr,
     )
     try:
@@ -436,8 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--events", metavar="FILE",
                          help="write the structured JSONL event log (one "
                               "rule.fired event per recorded firing) to FILE")
+    convert.add_argument("--flamegraph", metavar="FILE",
+                         help="sample the run with the wall-clock profiler "
+                              "and write a flamegraph to FILE (.json = "
+                              "speedscope, else collapsed-stack text)")
+    convert.add_argument("--hz", type=float, default=DEFAULT_HZ,
+                         metavar="HZ",
+                         help=f"--flamegraph sampling rate "
+                              f"(default {DEFAULT_HZ:g})")
     convert.add_argument("--force", action="store_true",
-                         help="overwrite existing --profile/--events files")
+                         help="overwrite existing --profile/--events/"
+                              "--flamegraph files")
     convert.add_argument("--sample-rate", type=float, default=1.0,
                          metavar="RATE",
                          help="fraction of rule firings to record in the "
@@ -449,6 +556,35 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--chunk-size", type=int, default=None, metavar="K",
                          help="inputs per shard for --workers (default: "
                               "heuristic; small inputs stay single-pass)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a conversion under the sampling profiler and report "
+             "where the wall time went (phases, hot functions, "
+             "flamegraph export)",
+    )
+    profile.add_argument("program")
+    profile.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    profile.add_argument("--hz", type=float, default=DEFAULT_HZ,
+                         metavar="HZ",
+                         help=f"samples per second (default {DEFAULT_HZ:g})")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="self-time leaders to list (default 10)")
+    profile.add_argument("-o", "--out", metavar="FILE",
+                         help="write a flamegraph to FILE (.json = "
+                              "speedscope, else collapsed-stack text)")
+    profile.add_argument("--force", action="store_true",
+                         help="overwrite an existing --out file")
+    profile.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="profile the multi-process executor (workers "
+                              "sample themselves; shard profiles merge into "
+                              "one flamegraph)")
+    profile.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                         help="inputs per shard for --workers")
+    profile.add_argument("--runtime-typing", action="store_true",
+                         help="raise on inputs matched by no rule (Section 3.5)")
+    profile.add_argument("--no-coerce", action="store_true",
+                         help="keep numeric-looking PCDATA as strings")
 
     lineage = sub.add_parser(
         "lineage",
@@ -527,6 +663,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: shed conversions with 429 + "
                             "Retry-After once N are already executing or "
                             "queued (default: unbounded)")
+    serve.add_argument("--history-interval", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds between /stats/history snapshots "
+                            "(default 5)")
+    serve.add_argument("--history-capacity", type=int, default=360,
+                       metavar="N",
+                       help="/stats/history ring size in samples "
+                            "(default 360 — half an hour at the default "
+                            "interval)")
     serve.add_argument("--debug-delay", action="store_true",
                        help=argparse.SUPPRESS)  # honor ?delay_ms= (tests)
 
@@ -555,6 +700,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": cmd_show,
         "check": cmd_check,
         "convert": cmd_convert,
+        "profile": cmd_profile,
         "lineage": cmd_lineage,
         "stats": cmd_stats,
         "pipeline": cmd_pipeline,

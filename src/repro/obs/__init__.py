@@ -24,7 +24,14 @@ Three modules:
   queries, installed ambiently with :func:`tracing`;
 * :mod:`.events` — a structured :class:`EventLog` (JSONL) mirroring
   provenance records, joinable to the Chrome-trace export through
-  ``span_id``/``trace_id``.
+  ``span_id``/``trace_id``;
+* :mod:`.profile` — a low-overhead all-thread wall-clock sampling
+  profiler (``sys._current_frames`` at a configurable hz) whose
+  samples attribute to interpreter phases and export as
+  collapsed-stack text or speedscope JSON for flamegraphs;
+* :mod:`.history` — :class:`MetricsHistory`, a bounded ring of
+  periodic scalar registry snapshots (the time-series layer behind
+  ``GET /stats/history`` and the ``repro top`` sparklines).
 
 Overhead discipline: metric *mutation* takes one lock; the truly hot
 paths (per-subject memo probes, dispatch admission checks) accumulate
@@ -63,6 +70,18 @@ from .export import (
     write_profile,
 )
 from .events import EventLog
+from .history import (
+    HistorySampler,
+    MetricsHistory,
+)
+from .profile import (
+    DEFAULT_HZ,
+    Profile,
+    SamplingProfiler,
+    ambient_profiler,
+    phase_of_stack,
+    profiling,
+)
 from .provenance import (
     ProvenanceRecord,
     ProvenanceStore,
@@ -97,6 +116,14 @@ __all__ = [
     "profile_payload",
     "write_profile",
     "EventLog",
+    "HistorySampler",
+    "MetricsHistory",
+    "DEFAULT_HZ",
+    "Profile",
+    "SamplingProfiler",
+    "ambient_profiler",
+    "phase_of_stack",
+    "profiling",
     "ProvenanceRecord",
     "ProvenanceStore",
     "ambient_provenance",

@@ -68,6 +68,7 @@ from .obs import (
     span,
 )
 from .obs.metrics import TIME_BUCKETS
+from .obs.profile import SamplingProfiler, ambient_profiler
 from .obs.provenance import ProvenanceStore, ambient_provenance
 from .yatl.hierarchy import Hierarchy
 from .yatl.interpreter import (
@@ -317,6 +318,7 @@ def _execute_shard(
     sample_rate: float = 1.0,
     record_spans: bool = False,
     trace_id: Optional[str] = None,
+    profile_hz: float = 0.0,
 ) -> Dict[str, object]:
     """Run one chunk through a fresh interpreter and return a plain-data
     payload the parent merges. Runs identically in a pool worker and in
@@ -329,12 +331,31 @@ def _execute_shard(
     store = DataStore()
     for name, node in items:
         store.add(name, node)
+    # Per-shard profiling: a worker process runs its own sampler and
+    # ships the aggregated stacks home. The ambient guard keeps the
+    # serial fallback from double-counting — in-process shards are
+    # already visible to the parent's own sampler. The check is
+    # PID-aware: a forked worker inherits the parent's ambient profiler
+    # object (ContextVars survive fork) but not its sampler thread, so
+    # presence alone would wrongly silence worker-side sampling.
+    ambient = ambient_profiler()
+    sampler = (
+        SamplingProfiler(hz=profile_hz)
+        if profile_hz > 0
+        and (ambient is None or not ambient.samples_this_process())
+        else None
+    )
+    if sampler is not None:
+        sampler.start()
     recorder = SpanRecorder(trace_id=trace_id) if record_spans else None
-    if recorder is not None:
-        with recording(recorder):
+    try:
+        if recorder is not None:
+            with recording(recorder):
+                result = interpreter.run_local(store)
+        else:
             result = interpreter.run_local(store)
-    else:
-        result = interpreter.run_local(store)
+    finally:
+        profile = sampler.stop().to_json() if sampler is not None else None
     unconverted_ids = {id(node) for node in result.unconverted}
     return {
         "index": index,
@@ -348,6 +369,7 @@ def _execute_shard(
         "metrics": metrics.snapshot(),
         "provenance": result.provenance.to_json(),
         "spans": [s.to_json() for s in recorder.spans()] if recorder else [],
+        "profile": profile,
         "seconds": time.perf_counter() - started,
         "pid": os.getpid(),
     }
@@ -424,11 +446,13 @@ def run_sharded(
 
     shard_items = [items[start:stop] for start, stop in chunks]
     recorder = ambient_recorder()
+    profiler = ambient_profiler()
     opts = {
         "record_provenance": prov is not None,
         "sample_rate": prov.sample_rate if prov is not None else 1.0,
         "record_spans": recorder is not None,
         "trace_id": recorder.trace_id if recorder is not None else None,
+        "profile_hz": profiler.hz if profiler is not None else 0.0,
     }
     with span("parallel.run", shards=len(chunks), workers=effective_workers):
         payloads, mode = _run_shards(
@@ -645,6 +669,16 @@ def _merge(
                 payload["spans"], parent_id=parent_id,
                 shard=payload["index"], pid=payload["pid"],
             )
+
+    profiler = ambient_profiler()
+    if profiler is not None:
+        # Worker shards sampled themselves (the parent's sampler cannot
+        # see across the process boundary); fold their stacks into the
+        # run's profile. Serial shards ship no profile — the parent
+        # sampler already observed them directly.
+        for payload in payloads:
+            if payload.get("profile"):
+                profiler.profile.merge_json(payload["profile"])
 
     registry.histogram(
         M_PAR_MERGE_SECONDS, "shard merge wall time", buckets=TIME_BUCKETS

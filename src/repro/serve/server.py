@@ -68,9 +68,13 @@ from urllib.parse import parse_qs, unquote, urlparse
 from .. import __version__
 from ..errors import YatError
 from ..obs import (
+    DEFAULT_HZ,
     LATENCY_MS_BUCKETS,
     EventLog,
+    HistorySampler,
+    MetricsHistory,
     ProvenanceStore,
+    SamplingProfiler,
     SpanRecorder,
     ambient_recorder,
     collecting,
@@ -141,6 +145,8 @@ class MediatorServer:
         coalesce_window_ms: float = 0.0,
         coalesce_max_batch: int = 64,
         max_queue_depth: Optional[int] = None,
+        history_interval_s: float = 5.0,
+        history_capacity: int = 360,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
@@ -191,6 +197,13 @@ class MediatorServer:
         self.system.add_invalidation_listener(self._on_program_changed)
         self.request_log = RequestLog(request_log_path)
         self.traces = TraceStore(trace_capacity)
+        # Time-series telemetry: a bounded ring of periodic registry
+        # snapshots behind GET /stats/history (sparklines in repro
+        # top), sampled by a daemon thread for the server's lifetime.
+        self.history = MetricsHistory(self.registry, capacity=history_capacity)
+        self._history_sampler = HistorySampler(
+            self.history, interval_s=history_interval_s
+        )
         self.events = EventLog()
         self.event_log_path = event_log_path
         self.allow_test_delay = allow_test_delay
@@ -242,6 +255,7 @@ class MediatorServer:
             # multi-threaded parent risks inheriting held locks.
             self.executor.warm()
             self.events.emit("server.pool_warmed", workers=self.executor.workers)
+        self._history_sampler.start()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name=f"repro-serve-{self.port}",
@@ -295,6 +309,7 @@ class MediatorServer:
                     )
                     break
                 self._inflight_cv.wait(remaining)
+        self._history_sampler.stop()  # final tick records shutdown state
         self._httpd.server_close()  # close the listening socket
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
@@ -397,11 +412,34 @@ class MediatorServer:
                     "queue_depth": queue_depth,
                     "rejected_total": rejected.total(),
                 },
+                "history": {
+                    "samples": len(self.history),
+                    "capacity": self.history.capacity,
+                    "interval_s": self._history_sampler.interval_s,
+                },
             },
             "programs": programs,
             "requests": self.request_log.tail(20),
             "metrics": self.registry.snapshot(),
         }
+
+    def profile_now(
+        self, seconds: float = 2.0, hz: float = DEFAULT_HZ
+    ) -> SamplingProfiler:
+        """Sample every server thread for *seconds* (the
+        ``GET /debug/profile`` implementation, also usable in-process).
+        Draining interrupts the capture early so profiling never delays
+        a graceful shutdown."""
+        self.registry.counter(
+            "serve.profile.runs", "on-demand /debug/profile captures"
+        ).inc()
+        profiler = SamplingProfiler(hz=hz)
+        profiler.start()
+        try:
+            self._draining.wait(timeout=seconds)
+        finally:
+            profiler.stop()
+        return profiler
 
     # -- the fast path ------------------------------------------------------
 
@@ -726,6 +764,59 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self._hit("stats")
             self._send_json(200, mediator.stats())
+        elif path == "/stats/history":
+            self._hit("stats_history")
+            query = parse_qs(parsed.query)
+            try:
+                limit = (
+                    int(query["limit"][0]) if "limit" in query else None
+                )
+            except ValueError:
+                self._send_json(400, {"error": "limit must be an integer"})
+                return
+            names = None
+            if "names" in query:
+                names = [
+                    name
+                    for chunk in query["names"]
+                    for name in chunk.split(",")
+                    if name
+                ]
+            self._send_json(
+                200, mediator.history.to_json(limit=limit, names=names)
+            )
+        elif path == "/debug/profile":
+            self._hit("debug_profile")
+            query = parse_qs(parsed.query)
+            try:
+                seconds = float(query.get("seconds", ["2"])[0])
+                hz = float(query.get("hz", [str(DEFAULT_HZ)])[0])
+            except ValueError:
+                self._send_json(
+                    400, {"error": "seconds and hz must be numeric"}
+                )
+                return
+            # Clamp rather than reject: a profiling endpoint must never
+            # be talked into pinning a handler thread for minutes or
+            # sampling at a rate that *is* the overhead.
+            seconds = max(0.05, min(30.0, seconds))
+            hz = max(1.0, min(999.0, hz))
+            out_format = query.get("format", ["speedscope"])[0]
+            if out_format not in ("speedscope", "collapsed"):
+                self._send_json(
+                    400,
+                    {"error": "format must be 'speedscope' or 'collapsed'"},
+                )
+                return
+            profiler = mediator.profile_now(seconds=seconds, hz=hz)
+            if out_format == "collapsed":
+                self._send_text(200, profiler.profile.collapsed())
+            else:
+                name = (
+                    f"repro serve {mediator.host}:{mediator.port} "
+                    f"({seconds:g}s @ {hz:g}hz)"
+                )
+                self._send_json(200, profiler.profile.speedscope(name))
         elif path.startswith("/trace/"):
             self._hit("trace")
             trace_id = unquote(path[len("/trace/"):])
@@ -743,6 +834,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "error": f"no such endpoint {path!r}",
                 "endpoints": ["/convert/<program> (POST)", "/metrics",
                               "/healthz", "/readyz", "/stats",
+                              "/stats/history", "/debug/profile",
                               "/trace/<trace_id>"],
             })
 

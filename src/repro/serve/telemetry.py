@@ -48,11 +48,14 @@ def clean_trace_id(candidate: Optional[str]) -> str:
 class RequestLog:
     """Append-only structured request log (thread-safe).
 
-    Every entry gets ``seq`` (1-based, monotonic) and ``ts`` (unix
-    seconds). With a ``path`` the entry is also written immediately as
-    one compact JSON line — a crash loses at most the OS buffer, and
-    :meth:`flush`/:meth:`close` (called by graceful shutdown) drain
-    that too.
+    Every entry gets ``seq`` (1-based, monotonic), ``ts`` (unix
+    seconds), and ``ts_us`` — microseconds on the same ``perf_counter``
+    clock spans use (:attr:`repro.obs.spans.Span.start_us`), so request
+    records join span trees and ``/stats/history`` ticks without
+    cross-clock arithmetic. With a ``path`` the entry is also written
+    immediately as one compact JSON line — a crash loses at most the
+    OS buffer, and :meth:`flush`/:meth:`close` (called by graceful
+    shutdown) drain that too.
     """
 
     def __init__(self, path: Optional[str] = None, capacity: int = 256) -> None:
@@ -63,7 +66,10 @@ class RequestLog:
         self._handle = open(path, "a") if path else None
 
     def append(self, **fields: object) -> Dict[str, object]:
-        entry: Dict[str, object] = {"ts": round(time.time(), 6)}
+        entry: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "ts_us": round(time.perf_counter_ns() / 1000.0, 1),
+        }
         entry.update(fields)
         with self._lock:
             self._count += 1

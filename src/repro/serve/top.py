@@ -14,9 +14,12 @@ import sys
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional, TextIO
+from typing import Dict, List, Optional, Sequence, TextIO
 
 CLEAR = "\x1b[2J\x1b[H"
+
+#: Unicode block elements, shortest to tallest, for sparklines.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 _TABLE_HEADER = (
     f"{'PROGRAM':<28} {'REQS':>8} {'REQ/S':>8} {'ERR':>6} {'REJ':>6} "
@@ -29,6 +32,86 @@ def fetch_stats(url: str, timeout: float = 5.0) -> Dict[str, object]:
     with urllib.request.urlopen(url.rstrip("/") + "/stats",
                                 timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_history(
+    url: str, limit: int = 32, timeout: float = 5.0
+) -> Dict[str, object]:
+    """One ``/stats/history`` poll, parsed."""
+    with urllib.request.urlopen(
+        url.rstrip("/") + f"/stats/history?limit={limit}",
+        timeout=timeout,
+    ) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render *values* as a block-element sparkline (last ``width``
+    points). A flat series renders as its lowest block so the line is
+    still visibly present; an empty series renders empty."""
+    points = [float(v) for v in values][-width:]
+    if not points:
+        return ""
+    low, high = min(points), max(points)
+    span = high - low
+    if span <= 0:
+        return SPARK_BLOCKS[0] * len(points)
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[int(round((v - low) / span * top))] for v in points
+    )
+
+
+def _history_series(
+    samples: Sequence[Dict[str, object]], name: str, field: str
+) -> List[Dict[str, float]]:
+    """``{"ts", "value"}`` points for one metric field across history
+    samples, skipping ticks that predate the metric."""
+    points: List[Dict[str, float]] = []
+    for sample in samples:
+        entry = sample.get("metrics", {}).get(name)
+        if entry is None or entry.get(field) is None:
+            continue
+        points.append({
+            "ts": float(sample.get("ts", 0.0)),
+            "value": float(entry[field]),
+        })
+    return points
+
+
+def history_rates(
+    samples: Sequence[Dict[str, object]], name: str, field: str = "total"
+) -> List[float]:
+    """Per-second deltas between consecutive history ticks (the
+    client-side mirror of :meth:`MetricsHistory.rates`)."""
+    points = _history_series(samples, name, field)
+    rates: List[float] = []
+    for before, after in zip(points, points[1:]):
+        dt = max(after["ts"] - before["ts"], 1e-9)
+        rates.append(max(0.0, after["value"] - before["value"]) / dt)
+    return rates
+
+
+def history_mean_latency(
+    samples: Sequence[Dict[str, object]],
+    name: str = "serve.latency_ms",
+) -> List[float]:
+    """Mean request latency (ms) per history interval, derived from
+    the histogram's count/sum deltas. Idle intervals repeat the last
+    observed mean (0 before any traffic) so the sparkline stays
+    aligned with the rate sparkline tick for tick."""
+    counts = _history_series(samples, name, "count")
+    sums = _history_series(samples, name, "sum")
+    means: List[float] = []
+    last = 0.0
+    for before_n, after_n, before_s, after_s in zip(
+        counts, counts[1:], sums, sums[1:]
+    ):
+        dn = after_n["value"] - before_n["value"]
+        if dn > 0:
+            last = max(0.0, after_s["value"] - before_s["value"]) / dn
+        means.append(last)
+    return means
 
 
 def _ms(value: Optional[float]) -> str:
@@ -71,13 +154,39 @@ def _rate(
     return f"{max(0.0, delta) / dt:.1f}"
 
 
+def _config_line(server: Dict[str, object]) -> str:
+    """The configured fast-path knobs (capacities, not live state) in
+    one header line: what this daemon was *started with*."""
+    pool = server.get("pool", {})
+    cache = server.get("cache", {})
+    coalesce = server.get("coalesce", {})
+    admission = server.get("admission", {})
+    history = server.get("history", {})
+    workers = int(float(pool.get("workers", 0) or 0))
+    cache_cap = int(float(cache.get("capacity", 0) or 0))
+    window_ms = float(coalesce.get("window_ms", 0) or 0)
+    max_depth = admission.get("max_queue_depth")
+    parts = [
+        f"workers {workers if workers else 'off'}",
+        f"cache {cache_cap if cache_cap else 'off'}",
+        f"coalesce {f'{window_ms:g}ms' if window_ms else 'off'}",
+        f"queue {int(float(max_depth)) if max_depth else 'off'}",
+    ]
+    interval = history.get("interval_s")
+    if interval:
+        parts.append(f"history {float(interval):g}s")
+    return "config: " + "   ".join(parts)
+
+
 def render(
     stats: Dict[str, object],
     url: str,
     previous: Optional[Dict[str, object]] = None,
     dt: float = 0.0,
+    history: Optional[Dict[str, object]] = None,
 ) -> str:
-    """The full dashboard frame for one ``/stats`` payload."""
+    """The full dashboard frame for one ``/stats`` payload (plus an
+    optional ``/stats/history`` payload for the sparklines)."""
     server = stats.get("server", {})
     requests_total = float(server.get("requests_total", 0))
     errors_total = float(server.get("errors_total", 0))
@@ -88,10 +197,19 @@ def render(
     lines = [
         f"repro top — {url}  up {float(server.get('uptime_s', 0)):.1f}s  "
         f"{state}  inflight {int(float(server.get('inflight', 0)))}",
+        _config_line(server),
         f"requests {int(requests_total)}   "
         f"errors {int(errors_total)} ({error_pct:.1f}%)   "
         f"traces retained {int(server.get('traces_retained', 0))}",
     ]
+    samples = (history or {}).get("samples", [])
+    if len(samples) >= 2:
+        req_spark = sparkline(history_rates(samples, "serve.requests"))
+        lat_spark = sparkline(history_mean_latency(samples))
+        if req_spark:
+            lines.append(f"req/s   {req_spark}")
+        if lat_spark:
+            lines.append(f"mean ms {lat_spark}")
     fast_path = []
     cache = server.get("cache", {})
     if cache.get("capacity"):
@@ -176,9 +294,18 @@ def run_top(
                 out.flush()
             else:
                 reached = True
+                # History is additive: an older daemon without the
+                # endpoint (or a mid-drain 404) must not kill the
+                # dashboard, so failures degrade to no sparklines.
+                try:
+                    history = fetch_history(url)
+                except (urllib.error.URLError, OSError, ValueError):
+                    history = None
                 if clear:
                     out.write(CLEAR)
-                out.write(render(stats, url, previous, now - previous_at))
+                out.write(
+                    render(stats, url, previous, now - previous_at, history)
+                )
                 out.flush()
                 previous, previous_at = stats, now
             frames += 1

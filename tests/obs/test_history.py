@@ -1,0 +1,134 @@
+"""MetricsHistory ring + HistorySampler drive loop."""
+
+import time
+
+import pytest
+
+from repro.obs import HistorySampler, MetricsHistory, MetricsRegistry
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("reqs").inc(3)
+    registry.gauge("depth").set(2)
+    histogram = registry.histogram("lat_ms", buckets=[1, 10])
+    histogram.observe(0.5, program="a")
+    histogram.observe(5.0, program="b")
+    return registry
+
+
+class TestMetricsHistory:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(MetricsRegistry(), capacity=0)
+
+    def test_sample_snapshots_scalars(self):
+        history = MetricsHistory(make_registry())
+        sample = history.sample()
+        assert sample["seq"] == 1
+        assert sample["ts"] > 0
+        assert sample["ts_us"] > 0
+        metrics = sample["metrics"]
+        assert metrics["reqs"] == {"type": "counter", "total": 3}
+        assert metrics["depth"] == {"type": "gauge", "total": 2}
+
+    def test_histogram_entry_sums_across_label_series(self):
+        history = MetricsHistory(make_registry())
+        entry = history.sample()["metrics"]["lat_ms"]
+        assert entry["type"] == "histogram"
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(5.5)
+
+    def test_ring_is_bounded(self):
+        history = MetricsHistory(make_registry(), capacity=3)
+        for _ in range(5):
+            history.sample()
+        assert len(history) == 3
+        # seq keeps counting even after eviction
+        assert [s["seq"] for s in history.tail()] == [3, 4, 5]
+
+    def test_tail_limit_and_names_filter(self):
+        history = MetricsHistory(make_registry())
+        history.sample()
+        history.sample()
+        tail = history.tail(limit=1, names=["reqs"])
+        assert len(tail) == 1
+        assert set(tail[0]["metrics"]) == {"reqs"}
+
+    def test_series_and_rates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs")
+        history = MetricsHistory(registry)
+        history.sample()
+        counter.inc(10)
+        history.sample()
+        points = history.series("reqs")
+        assert [value for _ts, value in points] == [0.0, 10.0]
+        rates = history.rates("reqs")
+        assert len(rates) == 1
+        assert rates[0] > 0
+
+    def test_rates_clamp_counter_resets(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        history = MetricsHistory(registry)
+        history.sample()
+        gauge.set(2)  # looks like a reset
+        history.sample()
+        assert history.rates("depth") == [0.0]
+
+    def test_series_skips_ticks_predating_the_metric(self):
+        registry = MetricsRegistry()
+        history = MetricsHistory(registry)
+        history.sample()  # no metrics yet
+        registry.counter("late").inc()
+        history.sample()
+        assert len(history.series("late")) == 1
+
+    def test_to_json_shape(self):
+        history = MetricsHistory(make_registry(), capacity=8)
+        history.sample()
+        doc = history.to_json(limit=5)
+        assert doc["capacity"] == 8
+        assert doc["count"] == 1
+        assert len(doc["samples"]) == 1
+
+
+class TestHistorySampler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            HistorySampler(MetricsHistory(MetricsRegistry()), interval_s=0)
+
+    def test_start_takes_an_immediate_sample(self):
+        history = MetricsHistory(make_registry())
+        sampler = HistorySampler(history, interval_s=60.0)
+        sampler.start()
+        try:
+            assert len(history) == 1
+        finally:
+            sampler.stop()
+
+    def test_stop_takes_a_final_sample(self):
+        history = MetricsHistory(make_registry())
+        sampler = HistorySampler(history, interval_s=60.0)
+        sampler.start()
+        sampler.stop()
+        assert len(history) == 2
+        assert not sampler.running
+
+    def test_ticks_on_interval(self):
+        history = MetricsHistory(make_registry())
+        with HistorySampler(history, interval_s=0.05):
+            time.sleep(0.2)
+        assert len(history) >= 3
+
+    def test_start_stop_idempotent(self):
+        sampler = HistorySampler(MetricsHistory(make_registry()),
+                                 interval_s=60.0)
+        sampler.start()
+        sampler.start()
+        assert sampler.running
+        sampler.stop()
+        sampler.stop()
+        assert not sampler.running

@@ -3,6 +3,11 @@
 import io
 
 from repro.serve import MediatorServer, render, run_top
+from repro.serve.top import (
+    history_mean_latency,
+    history_rates,
+    sparkline,
+)
 from repro.workloads import brochure_sgml
 
 from .test_server import PROGRAM, post_convert
@@ -127,7 +132,100 @@ class TestRender:
             "programs": {}, "requests": [],
         }
         frame = render(stats, "http://x:1")
-        assert "cache" not in frame and "queue" not in frame
+        # No *runtime* fast-path line; the config header still names
+        # the knobs, all off.
+        assert "config: workers off   cache off   coalesce off   " \
+               "queue off" in frame
+        assert "cache 0/" not in frame and "queue 0/" not in frame
+
+    def test_config_line_shows_enabled_knobs(self):
+        stats = {
+            "server": {
+                "requests_total": 0,
+                "pool": {"workers": 4},
+                "cache": {"capacity": 128},
+                "coalesce": {"window_ms": 2.5},
+                "admission": {"max_queue_depth": 16},
+                "history": {"interval_s": 5.0},
+            },
+            "programs": {}, "requests": [],
+        }
+        frame = render(stats, "http://x:1")
+        assert ("config: workers 4   cache 128   coalesce 2.5ms   "
+                "queue 16   history 5s") in frame
+
+
+def _history(samples):
+    return {"capacity": 360, "count": len(samples), "samples": samples}
+
+
+def _tick(ts, requests=None, lat_count=None, lat_sum=None):
+    metrics = {}
+    if requests is not None:
+        metrics["serve.requests"] = {"type": "counter", "total": requests}
+    if lat_count is not None:
+        metrics["serve.latency_ms"] = {
+            "type": "histogram", "count": lat_count, "sum": lat_sum,
+        }
+    return {"seq": int(ts), "ts": float(ts), "ts_us": float(ts) * 1e6,
+            "metrics": metrics}
+
+
+class TestSparkline:
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_lowest_block(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_scales_to_extremes(self):
+        line = sparkline([0, 4, 8])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 3
+
+    def test_window_keeps_the_latest_points(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"
+
+    def test_history_rates(self):
+        samples = [_tick(0, requests=0), _tick(1, requests=10),
+                   _tick(2, requests=10)]
+        assert history_rates(samples, "serve.requests") == [10.0, 0.0]
+
+    def test_history_rates_skip_missing_metric(self):
+        samples = [_tick(0), _tick(1, requests=5), _tick(2, requests=9)]
+        assert history_rates(samples, "serve.requests") == [4.0]
+
+    def test_history_mean_latency(self):
+        samples = [
+            _tick(0, lat_count=0, lat_sum=0.0),
+            _tick(1, lat_count=2, lat_sum=10.0),   # mean 5 ms
+            _tick(2, lat_count=2, lat_sum=10.0),   # idle: repeats 5
+            _tick(3, lat_count=4, lat_sum=30.0),   # mean 10 ms
+        ]
+        assert history_mean_latency(samples) == [5.0, 5.0, 10.0]
+
+    def test_render_includes_sparklines_with_history(self):
+        history = _history([
+            _tick(0, requests=0, lat_count=0, lat_sum=0.0),
+            _tick(1, requests=10, lat_count=10, lat_sum=50.0),
+            _tick(2, requests=30, lat_count=30, lat_sum=90.0),
+        ])
+        frame = render(STATS, "http://x:1", history=history)
+        assert "req/s" in frame and "mean ms" in frame
+        spark_line = next(l for l in frame.splitlines()
+                          if l.startswith("req/s"))
+        assert any(block in spark_line for block in "▁▂▃▄▅▆▇█")
+
+    def test_render_without_history_has_no_sparklines(self):
+        frame = render(STATS, "http://x:1")
+        assert "req/s" not in frame
+
+    def test_render_with_single_sample_has_no_sparklines(self):
+        frame = render(STATS, "http://x:1",
+                       history=_history([_tick(0, requests=1)]))
+        assert "req/s" not in frame
 
 
 class TestRunTop:

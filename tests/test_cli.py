@@ -336,3 +336,78 @@ class TestLibraryDirectory:
         ) == 0
         out = capsys.readouterr().out
         assert "SgmlBrochuresToOdmg" in out and "O2Web" not in out
+
+
+class TestProfileCommand:
+    def test_reports_and_writes_speedscope(self, sgml_file, tmp_path,
+                                           capsys):
+        out_path = str(tmp_path / "flame.json")
+        assert main([
+            "profile", "SgmlBrochuresToOdmg", sgml_file,
+            "--hz", "997", "-o", out_path,
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "profiled SgmlBrochuresToOdmg:" in captured.out
+        assert "output tree(s)" in captured.out
+        assert "flamegraph (speedscope) written" in captured.err
+        with open(out_path) as handle:
+            doc = json.load(handle)
+        assert "speedscope" in doc["$schema"]
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_collapsed_flamegraph_from_extension(self, sgml_file,
+                                                 tmp_path, capsys):
+        out_path = str(tmp_path / "flame.txt")
+        assert main([
+            "profile", "SgmlBrochuresToOdmg", sgml_file,
+            "--hz", "997", "-o", out_path,
+        ]) == 0
+        assert "flamegraph (collapsed) written" in capsys.readouterr().err
+        with open(out_path) as handle:
+            for line in handle.read().strip().splitlines():
+                stack, _space, count = line.rpartition(" ")
+                assert stack and count.isdigit()
+
+    def test_refuses_to_overwrite(self, sgml_file, tmp_path, capsys):
+        out_path = tmp_path / "flame.json"
+        out_path.write_text("{}")
+        assert main([
+            "profile", "SgmlBrochuresToOdmg", sgml_file,
+            "-o", str(out_path),
+        ]) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert out_path.read_text() == "{}"
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+        from repro.obs import DEFAULT_HZ
+
+        args = build_parser().parse_args(["profile", "P", "in.sgml"])
+        assert args.hz == DEFAULT_HZ
+        assert args.out is None
+
+
+class TestConvertFlamegraph:
+    def test_writes_flamegraph_alongside_output(self, sgml_file,
+                                                tmp_path, capsys):
+        out_path = str(tmp_path / "flame.json")
+        assert main([
+            "convert", "SgmlBrochuresToOdmg", sgml_file,
+            "--flamegraph", out_path, "--hz", "997",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "class -> car" in captured.out  # normal output untouched
+        assert "flamegraph (speedscope" in captured.err
+        assert "written to" in captured.err
+        with open(out_path) as handle:
+            assert "speedscope" in json.load(handle)["$schema"]
+
+    def test_refuses_to_overwrite(self, sgml_file, tmp_path, capsys):
+        out_path = tmp_path / "flame.txt"
+        out_path.write_text("keep")
+        assert main([
+            "convert", "SgmlBrochuresToOdmg", sgml_file,
+            "--flamegraph", str(out_path),
+        ]) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert out_path.read_text() == "keep"

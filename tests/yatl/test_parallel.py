@@ -479,3 +479,75 @@ class TestParallelExecutor:
             Interpreter(brochures_program.rules, workers=0)
         with pytest.raises(ValueError):
             Interpreter(brochures_program.rules, chunk_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard profiling
+# ---------------------------------------------------------------------------
+
+
+class TestShardProfiling:
+    def _shard_items(self):
+        trees = brochure_trees(4, distinct_suppliers=2)
+        return [(f"in{i}", node) for i, node in enumerate(trees)]
+
+    def test_shard_ships_profile_when_no_ambient_sampler(
+        self, brochures_program
+    ):
+        spec = ShardSpec(brochures_program.rules)
+        payload = _execute_shard(
+            spec, 0, self._shard_items(), profile_hz=500.0
+        )
+        profile = payload["profile"]
+        assert profile is not None
+        assert profile["hz"] == 500.0
+        assert profile["duration_s"] > 0
+
+    def test_serial_shard_defers_to_the_parent_sampler(
+        self, brochures_program
+    ):
+        # In-process shards are visible to the parent's own sampler;
+        # running a second one would double-count every stack.
+        from repro.obs.profile import profiling
+
+        spec = ShardSpec(brochures_program.rules)
+        with profiling(hz=500.0):
+            payload = _execute_shard(
+                spec, 0, self._shard_items(), profile_hz=500.0
+            )
+        assert payload["profile"] is None
+
+    def test_forked_worker_samples_despite_inherited_ambient(
+        self, brochures_program
+    ):
+        # ContextVars survive fork, so a pool worker sees the parent's
+        # ambient profiler object — but not its sampler thread. The
+        # guard must be PID-aware. Simulate the fork by faking the
+        # recorded pid.
+        from repro.obs.profile import profiling
+
+        spec = ShardSpec(brochures_program.rules)
+        with profiling(hz=500.0) as profiler:
+            profiler._pid = -1  # "started in another process"
+            payload = _execute_shard(
+                spec, 0, self._shard_items(), profile_hz=500.0
+            )
+        assert payload["profile"] is not None
+
+    def test_pool_run_merges_worker_profiles(self, brochures_program):
+        from repro.obs.profile import profiling
+
+        inputs = brochure_trees(8, distinct_suppliers=3)
+        with profiling(hz=500.0) as profiler:
+            result = brochures_program.run(inputs, workers=2, chunk_size=2)
+        assert result.parallel["mode"] == "pool"
+        # Worker captures fold into the ambient profile without
+        # disturbing the run itself; duration covers the whole run.
+        assert profiler.profile.duration_s > 0
+
+    def test_profile_hz_zero_disables_shard_sampling(
+        self, brochures_program
+    ):
+        spec = ShardSpec(brochures_program.rules)
+        payload = _execute_shard(spec, 0, self._shard_items())
+        assert payload["profile"] is None
