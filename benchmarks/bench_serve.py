@@ -33,11 +33,23 @@ ephemeral ports and drives ``POST /convert/<program>`` four ways:
     All of the above, one combined report (what CI writes to
     BENCH_PR6.json).
 
+``--mode alerts``
+    The closed loop paired back-to-back — no alert rules, then a
+    live rule set (thresholds, percentile reads, burn-rate windows)
+    with the history sampler ticking fast enough to evaluate many
+    times mid-run. Reports the evaluator's throughput overhead as the
+    median of per-pair ratios; ``--alerts-max-overhead-pct`` gates it
+    (CI uses 5). The rule set is deliberately quiet: anything firing
+    during the run is itself a failure. Writes ``BENCH_PR8.json``
+    under its own ``serve_alerts`` family so the trend observatory
+    never pairs it with the plain closed-loop numbers.
+
 Run standalone (not under pytest)::
 
     python benchmarks/bench_serve.py                        # closed loop
     python benchmarks/bench_serve.py --quick                # CI smoke
     python benchmarks/bench_serve.py --mode full --json BENCH_PR6.json
+    python benchmarks/bench_serve.py --mode alerts --json BENCH_PR8.json
 """
 
 from __future__ import annotations
@@ -498,10 +510,121 @@ def run_open(args, payload):
     return report, failures
 
 
+#: The quiet-by-construction rule set the alerts mode evaluates: every
+#: rule kind and stat path the evaluator supports, with bounds no
+#: healthy benchmark run can cross — the cost is real, the alerts are
+#: not.
+ALERT_BENCH_RULES = [
+    {"name": "p99-latency", "metric": "serve.latency_ms", "stat": "p99",
+     "op": ">", "value": 1e9, "for": "1s"},
+    {"name": "p50-latency", "metric": "serve.latency_ms", "stat": "p50",
+     "op": ">", "value": 1e9},
+    {"name": "error-rate", "metric": "serve.errors", "stat": "rate",
+     "op": ">", "value": 1e9, "for": "5s"},
+    {"name": "rejections", "metric": "serve.rejected", "op": ">",
+     "value": 1e9},
+    {"name": "slo-fast", "objective": 0.999, "window": "5m",
+     "max_burn_rate": 1e9},
+    {"name": "slo-slow", "objective": 0.99, "window": "1h",
+     "max_burn_rate": 1e9},
+]
+
+
+def run_alerts(args, payload):
+    """Closed loop with and without a live alert-rule set, paired
+    back-to-back; the overhead gate for the always-on evaluator."""
+    from repro.obs.alerts import rules_from_data
+
+    failures = []
+    pairs = []
+    runs = {}
+    # A sub-second leg measures scheduler noise, not the evaluator:
+    # keep each leg long enough for several sampler ticks.
+    requests = max(args.requests, 25)
+    total = args.clients * requests
+    evaluations = transitions = 0
+    fired = []
+    # One discarded leg warms the process (allocator, import side
+    # effects) so the first measured pair is not biased against
+    # whichever label runs first.
+    warmup = MediatorServer(port=0, warm=False, cache_size=0)
+    warmup.warm_now()
+    with warmup:
+        drive_closed_loop(warmup, payload, args.clients,
+                          max(5, requests // 5), scrape=False)
+    for attempt in range(args.alerts_pairs):
+        for label, rules in (("alerts_off", None),
+                             ("alerts_on",
+                              rules_from_data(ALERT_BENCH_RULES))):
+            server = MediatorServer(
+                port=0, warm=False, cache_size=0,
+                history_interval_s=args.alerts_tick_s,
+                alert_rules=rules,
+            )
+            server.warm_now()
+            with server:
+                wall_s, latencies, statuses, _ = drive_closed_loop(
+                    server, payload, args.clients, requests,
+                    scrape=False,
+                )
+                if rules is not None:
+                    summary = server.alerts.summary()
+                    evaluations += summary["evaluations"]
+                    transitions += len(server.alerts.snapshot()["transitions"])
+                    fired.extend(summary["firing"] + summary["pending"])
+            throughput = total / wall_s if wall_s else float("inf")
+            runs.setdefault(label, []).append(round(throughput, 1))
+            non_ok = {s: n for s, n in statuses.items() if s != 200}
+            if non_ok:
+                failures.append(f"{label}: non-200 responses {non_ok}")
+            if attempt == 0:
+                print(f"  {label:10}: {throughput:9.1f} req/s  "
+                      f"p50 {percentile(latencies, 0.5):.2f} ms")
+        off, on = runs["alerts_off"][-1], runs["alerts_on"][-1]
+        pairs.append((off / on - 1.0) * 100.0 if on else float("inf"))
+
+    pairs.sort()
+    middle = len(pairs) // 2
+    overhead_pct = (
+        pairs[middle] if len(pairs) % 2
+        else (pairs[middle - 1] + pairs[middle]) / 2.0
+    )
+    print(f"  overhead  : {overhead_pct:+9.2f}% (median of "
+          f"{len(pairs)} back-to-back pair(s); "
+          f"{evaluations} evaluation(s) during load)")
+    if evaluations == 0:
+        failures.append(
+            "the evaluator never ran during the alerts-on legs — "
+            "lengthen the run or shrink --alerts-tick-s"
+        )
+    if fired or transitions:
+        failures.append(
+            f"the quiet rule set produced activity under load: "
+            f"fired/pending={sorted(set(fired))}, "
+            f"transitions={transitions}"
+        )
+    if args.alerts_max_overhead_pct is not None and \
+            overhead_pct > args.alerts_max_overhead_pct:
+        failures.append(
+            f"alert-evaluator overhead {overhead_pct:+.2f}% exceeds the "
+            f"{args.alerts_max_overhead_pct:.1f}% budget"
+        )
+    return {
+        "rules": len(ALERT_BENCH_RULES),
+        "tick_s": args.alerts_tick_s,
+        "runs": {label: {"throughput_rps": values}
+                 for label, values in runs.items()},
+        "pair_overheads_pct": [round(value, 2) for value in pairs],
+        "overhead_pct": round(overhead_pct, 2),
+        "evaluations": evaluations,
+        "transitions": transitions,
+    }, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", choices=("closed", "ablation", "open",
-                                           "full"),
+                                           "full", "alerts"),
                         default="closed")
     parser.add_argument("--clients", type=int, default=8,
                         help="concurrent client threads (default 8)")
@@ -527,6 +650,17 @@ def main(argv=None) -> int:
                         help="open-loop accepted-p99 bound (default 2000)")
     parser.add_argument("--max-queue-depth", type=int, default=4,
                         help="open-loop admission watermark (default 4)")
+    parser.add_argument("--alerts-pairs", type=int, default=3,
+                        help="back-to-back off/on pairs for --mode alerts "
+                             "(default 3; the overhead is their median)")
+    parser.add_argument("--alerts-tick-s", type=float, default=0.2,
+                        metavar="S",
+                        help="history-sampler interval during --mode alerts "
+                             "(default 0.2 — many evaluations per leg)")
+    parser.add_argument("--alerts-max-overhead-pct", type=float,
+                        default=None, metavar="PCT",
+                        help="fail when the alert evaluator costs more than "
+                             "PCT%% closed-loop throughput (CI uses 5)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke sizes")
     parser.add_argument("--json", metavar="FILE", dest="json_path",
@@ -542,7 +676,11 @@ def main(argv=None) -> int:
         parser.error("--clients/--requests must be >= 1")
 
     payload = brochure_sgml(args.brochures, distinct_suppliers=4).encode()
-    report = {"benchmark": "serve", "mode": args.mode}
+    # The alerts mode gets its own trend family: compare.py pairs
+    # artifacts by family, and an overhead A/B must never be gated
+    # against the plain closed-loop throughput numbers.
+    family = "serve_alerts" if args.mode == "alerts" else "serve"
+    report = {"benchmark": family, "mode": args.mode}
     failures = []
 
     if args.mode in ("closed", "full"):
@@ -556,6 +694,10 @@ def main(argv=None) -> int:
     if args.mode in ("open", "full"):
         report["open_loop"], open_failures = run_open(args, payload)
         failures.extend(open_failures)
+    if args.mode == "alerts":
+        print("alert-evaluator overhead (closed loop, off vs on):")
+        report["alerts"], alert_failures = run_alerts(args, payload)
+        failures.extend(alert_failures)
 
     for failure in failures:
         print(f"FAIL: {failure}")

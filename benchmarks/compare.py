@@ -73,6 +73,12 @@ HEADLINES: Dict[str, List[Tuple[str, str, str, bool]]] = {
         ("throughput rps", "throughput_rps", "higher", True),
         ("client p99 ms", "client_latency_ms.p99", "lower", False),
     ],
+    # Non-gating: the bench itself enforces the absolute <=5% budget,
+    # and a relative gate over a near-zero overhead base would flap.
+    "serve_alerts": [
+        ("evaluator overhead %", "alerts.overhead_pct", "lower", False),
+        ("evaluations under load", "alerts.evaluations", "higher", False),
+    ],
 }
 
 

@@ -18,7 +18,9 @@ Usage::
     python -m repro stats SgmlBrochuresToOdmg brochures.sgml --format prometheus
     python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
     python -m repro serve --port 8023                  # long-running daemon
+    python -m repro serve --alerts rules.toml          # + SLO alerting
     python -m repro top http://127.0.0.1:8023          # live dashboard
+    python -m repro watch http://127.0.0.1:8023 --once # health verdict
 
 Programs are named library programs or ``.yatl`` files; input documents
 are SGML files (one or several documents per file). ``--profile``
@@ -425,9 +427,11 @@ def cmd_stats(args, library: Library) -> int:
 
 def cmd_serve(args, library: Library) -> int:
     """Run the mediator as a long-lived daemon (see repro.serve)."""
+    from .obs.alerts import load_rules
     from .serve import MediatorServer
     from .system import YatSystem
 
+    alert_rules = load_rules(args.alerts) if args.alerts else None
     server = MediatorServer(
         host=args.host,
         port=args.port,
@@ -443,7 +447,15 @@ def cmd_serve(args, library: Library) -> int:
         max_queue_depth=args.max_queue_depth,
         history_interval_s=args.history_interval,
         history_capacity=args.history_capacity,
+        alert_rules=alert_rules,
+        request_log_max_bytes=args.request_log_max_bytes,
     )
+    if alert_rules:
+        print(
+            f"alerting: {len(alert_rules)} rule(s) from {args.alerts} "
+            f"(GET /alerts, `repro watch` for the verdict)",
+            file=sys.stderr,
+        )
     stop_requested = threading.Event()
 
     def _request_stop(signum, frame):
@@ -457,7 +469,8 @@ def cmd_serve(args, library: Library) -> int:
     print(
         f"repro serve listening on http://{server.host}:{server.port} "
         f"(endpoints: POST /convert/<program>, GET /metrics /healthz "
-        f"/readyz /stats /stats/history /debug/profile /trace/<id>)",
+        f"/readyz /stats /stats/history /alerts /debug/profile "
+        f"/trace/<id>)",
         file=sys.stderr,
     )
     try:
@@ -484,6 +497,20 @@ def cmd_top(args, library: Library) -> int:
         interval=args.interval,
         iterations=args.iterations,
         clear=not args.no_clear,
+    )
+
+
+def cmd_watch(args, library: Library) -> int:
+    """The SLO verdict over a running daemon's /alerts (exit 0 healthy,
+    1 unreachable, 2 firing) — what CI and deploy gates branch on."""
+    from .serve import run_watch
+
+    return run_watch(
+        args.url,
+        once=args.once,
+        interval=args.interval,
+        iterations=args.iterations,
+        timeout=args.timeout,
     )
 
 
@@ -637,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 binds an ephemeral port)")
     serve.add_argument("--request-log", metavar="FILE",
                        help="append one JSONL record per request to FILE")
+    serve.add_argument("--request-log-max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="rotate the request log to FILE.1 once it "
+                            "would exceed N bytes (default: no rotation)")
+    serve.add_argument("--alerts", metavar="FILE",
+                       help="declarative alert/SLO rules (TOML or JSON) "
+                            "evaluated on every history tick; see "
+                            "docs/OBSERVABILITY.md")
     serve.add_argument("--event-log", metavar="FILE",
                        help="write the server lifecycle event log (JSONL) "
                             "to FILE on shutdown")
@@ -687,6 +722,22 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--no-clear", action="store_true",
                      help="append frames instead of clearing the screen")
 
+    watch = sub.add_parser(
+        "watch",
+        help="poll a daemon's /alerts and report the health verdict "
+             "(exit 0 healthy, 1 unreachable, 2 alerts firing)",
+    )
+    watch.add_argument("url", nargs="?", default="http://127.0.0.1:8023",
+                       help="daemon base URL (default http://127.0.0.1:8023)")
+    watch.add_argument("--once", action="store_true",
+                       help="poll once, print the verdict, and exit")
+    watch.add_argument("--interval", type=float, default=5.0,
+                       help="seconds between /alerts polls (default 5)")
+    watch.add_argument("--iterations", type=int, default=None, metavar="N",
+                       help="poll N times then exit (default: until ^C)")
+    watch.add_argument("--timeout", type=float, default=5.0,
+                       help="per-poll HTTP timeout in seconds (default 5)")
+
     return parser
 
 
@@ -706,6 +757,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pipeline": cmd_pipeline,
         "serve": cmd_serve,
         "top": cmd_top,
+        "watch": cmd_watch,
     }
     try:
         return handlers[args.command](args, library)

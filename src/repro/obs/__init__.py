@@ -31,7 +31,12 @@ Three modules:
   collapsed-stack text or speedscope JSON for flamegraphs;
 * :mod:`.history` — :class:`MetricsHistory`, a bounded ring of
   periodic scalar registry snapshots (the time-series layer behind
-  ``GET /stats/history`` and the ``repro top`` sparklines).
+  ``GET /stats/history`` and the ``repro top`` sparklines);
+* :mod:`.alerts` — declarative alert rules with SLO semantics:
+  threshold and error-budget burn-rate rules evaluated per history
+  tick by an :class:`AlertEvaluator` (``ok -> pending -> firing ->
+  resolved`` with ``for``-duration hysteresis), behind ``GET /alerts``
+  and the ``repro watch`` health verdict.
 
 Overhead discipline: metric *mutation* takes one lock; the truly hot
 paths (per-subject memo probes, dispatch admission checks) accumulate
@@ -68,6 +73,15 @@ from .export import (
     metrics_to_prometheus,
     profile_payload,
     write_profile,
+)
+from .alerts import (
+    AlertEvaluator,
+    AlertRuleError,
+    BurnRateRule,
+    ThresholdRule,
+    load_rules,
+    parse_duration,
+    rules_from_data,
 )
 from .events import EventLog
 from .history import (
@@ -115,6 +129,13 @@ __all__ = [
     "metrics_to_prometheus",
     "profile_payload",
     "write_profile",
+    "AlertEvaluator",
+    "AlertRuleError",
+    "BurnRateRule",
+    "ThresholdRule",
+    "load_rules",
+    "parse_duration",
+    "rules_from_data",
     "EventLog",
     "HistorySampler",
     "MetricsHistory",

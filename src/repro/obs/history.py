@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import Histogram, MetricsRegistry
 
@@ -59,11 +59,26 @@ class MetricsHistory:
         self._lock = threading.Lock()
         self._samples: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._seq = 0
+        self._listeners: List[Callable[[Dict[str, object]], None]] = []
 
     # -- recording ----------------------------------------------------------
 
-    def sample(self) -> Dict[str, object]:
-        """Snapshot the registry's scalar totals as one new tick."""
+    def add_listener(
+        self, listener: Callable[[Dict[str, object]], None]
+    ) -> None:
+        """Call *listener* with each newly recorded sample (after it is
+        appended) — how the alert evaluator rides the sampler cadence.
+        Listener exceptions are swallowed: a bad consumer must never
+        kill the sampler thread or a graceful shutdown's final tick."""
+        self._listeners.append(listener)
+
+    def sample(self, at: Optional[float] = None) -> Dict[str, object]:
+        """Snapshot the registry's scalar totals as one new tick.
+
+        ``at`` overrides the tick's unix timestamp — the hook that lets
+        tests and replay tooling drive time-dependent consumers (alert
+        hysteresis, burn-rate windows) through synthetic ticks without
+        wall-clock sleeps."""
         metrics: Dict[str, Dict[str, object]] = {}
         for metric in self.registry:
             if isinstance(metric, Histogram):
@@ -84,11 +99,16 @@ class MetricsHistory:
             self._seq += 1
             entry: Dict[str, object] = {
                 "seq": self._seq,
-                "ts": round(time.time(), 6),
+                "ts": round(time.time(), 6) if at is None else float(at),
                 "ts_us": round(time.perf_counter_ns() / 1000.0, 1),
                 "metrics": metrics,
             }
             self._samples.append(entry)
+        for listener in self._listeners:
+            try:
+                listener(entry)
+            except Exception:
+                pass  # see add_listener: consumers cannot break sampling
         return entry
 
     # -- reading ------------------------------------------------------------

@@ -24,6 +24,15 @@ from .telemetry import (
     trace_payload,
 )
 from .top import fetch_stats, render, run_top
+from .watch import (
+    EXIT_FIRING,
+    EXIT_HEALTHY,
+    EXIT_UNREACHABLE,
+    fetch_alerts,
+    run_watch,
+    verdict,
+    verdict_line,
+)
 
 __all__ = [
     "MAX_BODY_BYTES",
@@ -40,4 +49,11 @@ __all__ = [
     "fetch_stats",
     "render",
     "run_top",
+    "EXIT_FIRING",
+    "EXIT_HEALTHY",
+    "EXIT_UNREACHABLE",
+    "fetch_alerts",
+    "run_watch",
+    "verdict",
+    "verdict_line",
 ]

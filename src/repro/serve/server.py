@@ -22,6 +22,10 @@ clients, not one-shot CLIs. :class:`MediatorServer` wraps a shared
                              top`` polls)
 ``GET /trace/<trace_id>``    the span tree + provenance join of one
                              recent request
+``GET /alerts``              the SLO engine's verdict: every alert
+                             rule's state, recent transitions, and a
+                             top-level ``healthy`` flag (what ``repro
+                             watch`` polls)
 ===========================  ==============================================
 
 Every request gets a trace id (honoring an inbound ``X-Trace-Id``
@@ -70,6 +74,7 @@ from ..errors import YatError
 from ..obs import (
     DEFAULT_HZ,
     LATENCY_MS_BUCKETS,
+    AlertEvaluator,
     EventLog,
     HistorySampler,
     MetricsHistory,
@@ -147,6 +152,8 @@ class MediatorServer:
         max_queue_depth: Optional[int] = None,
         history_interval_s: float = 5.0,
         history_capacity: int = 360,
+        alert_rules: Optional[Sequence[object]] = None,
+        request_log_max_bytes: Optional[int] = None,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
@@ -195,7 +202,11 @@ class MediatorServer:
         # parsed-program cache (inside YatSystem), the result cache,
         # and the coalescer's shard specs.
         self.system.add_invalidation_listener(self._on_program_changed)
-        self.request_log = RequestLog(request_log_path)
+        self.request_log = RequestLog(
+            request_log_path,
+            max_bytes=request_log_max_bytes,
+            registry=self.registry,
+        )
         self.traces = TraceStore(trace_capacity)
         # Time-series telemetry: a bounded ring of periodic registry
         # snapshots behind GET /stats/history (sparklines in repro
@@ -205,6 +216,18 @@ class MediatorServer:
             self.history, interval_s=history_interval_s
         )
         self.events = EventLog()
+        # SLO engine: the evaluator rides the history sampler's cadence
+        # (every tick evaluates every rule) and judges the telemetry —
+        # GET /alerts, the /stats alerts block, repro_alert_state
+        # gauges, and the `repro watch` exit code all read its verdict.
+        # Always constructed (an empty rule set is trivially healthy)
+        # so the endpoints exist whether or not --alerts was given.
+        self.alerts = AlertEvaluator(
+            list(alert_rules or []),
+            history=self.history,
+            registry=self.registry,
+            events=self.events,
+        ).watch()
         self.event_log_path = event_log_path
         self.allow_test_delay = allow_test_delay
         self.drain_timeout_s = drain_timeout_s
@@ -417,6 +440,7 @@ class MediatorServer:
                     "capacity": self.history.capacity,
                     "interval_s": self._history_sampler.interval_s,
                 },
+                "alerts": self.alerts.summary(),
             },
             "programs": programs,
             "requests": self.request_log.tail(20),
@@ -764,6 +788,20 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self._hit("stats")
             self._send_json(200, mediator.stats())
+        elif path == "/alerts":
+            self._hit("alerts")
+            query = parse_qs(parsed.query)
+            try:
+                transitions = (
+                    int(query["transitions"][0])
+                    if "transitions" in query else 50
+                )
+            except ValueError:
+                self._send_json(
+                    400, {"error": "transitions must be an integer"}
+                )
+                return
+            self._send_json(200, mediator.alerts.snapshot(transitions))
         elif path == "/stats/history":
             self._hit("stats_history")
             query = parse_qs(parsed.query)
@@ -782,6 +820,18 @@ class _Handler(BaseHTTPRequestHandler):
                     for name in chunk.split(",")
                     if name
                 ]
+                # An unknown name would silently filter to empty series
+                # — undiagnosable from a dashboard. Fail loudly with
+                # the catalog instead.
+                known = set(mediator.registry.names())
+                unknown = sorted(set(names) - known)
+                if unknown:
+                    self._send_json(400, {
+                        "error": f"unknown metric name(s): "
+                                 f"{', '.join(unknown)}",
+                        "known_names": sorted(known),
+                    })
+                    return
             self._send_json(
                 200, mediator.history.to_json(limit=limit, names=names)
             )
@@ -834,8 +884,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "error": f"no such endpoint {path!r}",
                 "endpoints": ["/convert/<program> (POST)", "/metrics",
                               "/healthz", "/readyz", "/stats",
-                              "/stats/history", "/debug/profile",
-                              "/trace/<trace_id>"],
+                              "/stats/history", "/alerts",
+                              "/debug/profile", "/trace/<trace_id>"],
             })
 
     # -- POST: the conversion path -----------------------------------------

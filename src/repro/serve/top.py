@@ -17,6 +17,8 @@ import urllib.request
 from typing import Dict, List, Optional, Sequence, TextIO
 
 CLEAR = "\x1b[2J\x1b[H"
+INVERSE = "\x1b[7m"
+RESET = "\x1b[0m"
 
 #: Unicode block elements, shortest to tallest, for sparklines.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
@@ -154,6 +156,26 @@ def _rate(
     return f"{max(0.0, delta) / dt:.1f}"
 
 
+def alert_banner(server: Dict[str, object]) -> Optional[str]:
+    """The firing-alert banner line (inverse video), or a quiet
+    pending note, or None when the alert engine has nothing to say.
+    Reads the ``alerts`` block ``/stats`` carries; daemons predating
+    the SLO engine simply render no banner."""
+    alerts = server.get("alerts")
+    if not isinstance(alerts, dict):
+        return None
+    firing = [str(name) for name in alerts.get("firing", [])]
+    pending = [str(name) for name in alerts.get("pending", [])]
+    if firing:
+        return (
+            f"{INVERSE} ALERT FIRING: {', '.join(firing)} {RESET}"
+            + (f"  (pending: {', '.join(pending)})" if pending else "")
+        )
+    if pending:
+        return f"alerts pending: {', '.join(pending)}"
+    return None
+
+
 def _config_line(server: Dict[str, object]) -> str:
     """The configured fast-path knobs (capacities, not live state) in
     one header line: what this daemon was *started with*."""
@@ -202,6 +224,9 @@ def render(
         f"errors {int(errors_total)} ({error_pct:.1f}%)   "
         f"traces retained {int(server.get('traces_retained', 0))}",
     ]
+    banner = alert_banner(server)
+    if banner is not None:
+        lines.append(banner)
     samples = (history or {}).get("samples", [])
     if len(samples) >= 2:
         req_spark = sparkline(history_rates(samples, "serve.requests"))

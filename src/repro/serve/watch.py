@@ -1,0 +1,136 @@
+"""``repro watch`` — a machine-readable health verdict over ``/alerts``.
+
+The CI-facing payoff of the alert engine: instead of a pile of ad-hoc
+curls, the serve-smoke job (and any deploy gate) runs ``repro watch
+<url> --once`` and branches on the exit code. The daemon's own
+evaluator judges the SLOs; this command only reports its verdict.
+
+Exit codes:
+
+===  ========================================================
+0    healthy — no rule firing
+1    the daemon was unreachable (or never became reachable)
+2    unhealthy — at least one rule firing
+===  ========================================================
+
+``--once`` polls a single verdict; without it the command keeps
+polling, printing each alert transition as it appears, until
+interrupted — the exit code then reflects the *last* verdict seen.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, TextIO, Tuple
+
+EXIT_HEALTHY = 0
+EXIT_UNREACHABLE = 1
+EXIT_FIRING = 2
+
+
+def fetch_alerts(url: str, timeout: float = 5.0) -> Dict[str, object]:
+    """One ``GET /alerts`` poll, parsed."""
+    with urllib.request.urlopen(url.rstrip("/") + "/alerts",
+                                timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def verdict(doc: Dict[str, object]) -> Tuple[bool, List[str], List[str]]:
+    """``(healthy, firing_names, pending_names)`` from an ``/alerts``
+    document."""
+    summary = doc.get("summary", {})
+    firing = [str(name) for name in summary.get("firing", [])]
+    pending = [str(name) for name in summary.get("pending", [])]
+    return not firing, firing, pending
+
+
+def verdict_line(doc: Dict[str, object]) -> str:
+    """One human-readable verdict line (what ``--once`` prints)."""
+    healthy, firing, pending = verdict(doc)
+    summary = doc.get("summary", {})
+    rules = int(summary.get("rules", 0))
+    if healthy:
+        suffix = f", {len(pending)} pending" if pending else ""
+        return f"HEALTHY — {rules} rule(s), 0 firing{suffix}"
+    details = []
+    states: Dict[str, Dict[str, object]] = doc.get("states", {})
+    for name in firing:
+        state = states.get(name, {})
+        value = state.get("last_value")
+        if isinstance(value, dict):
+            rendered = ", ".join(
+                f"{key}={_fmt(val)}" for key, val in sorted(value.items())
+            )
+        else:
+            rendered = _fmt(value)
+        details.append(f"{name} ({rendered})")
+    return f"UNHEALTHY — firing: {', '.join(details)}"
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "no data"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def run_watch(
+    url: str,
+    once: bool = False,
+    interval: float = 5.0,
+    iterations: Optional[int] = None,
+    timeout: float = 5.0,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Poll ``/alerts`` and return the verdict exit code.
+
+    ``--once`` (one poll) is the CI mode; the watch loop prints the
+    verdict whenever it changes plus every new transition the daemon
+    reports, and returns the last verdict on interrupt or after
+    ``iterations`` polls.
+    """
+    out = out if out is not None else sys.stdout
+    last_verdict: Optional[bool] = None
+    last_seen_transitions = 0
+    reached = False
+    exit_code = EXIT_UNREACHABLE
+    polls = 0
+    try:
+        while True:
+            try:
+                doc = fetch_alerts(url, timeout=timeout)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                out.write(f"repro watch — {url}: unreachable ({exc})\n")
+                out.flush()
+                exit_code = EXIT_UNREACHABLE
+            else:
+                reached = True
+                healthy, _firing, _pending = verdict(doc)
+                transitions = doc.get("transitions", [])
+                if not once and last_verdict is not None:
+                    for transition in transitions[last_seen_transitions:]:
+                        out.write(
+                            f"  {transition.get('rule')}: "
+                            f"-> {transition.get('to')} "
+                            f"(at {float(transition.get('ts', 0)):.3f})\n"
+                        )
+                last_seen_transitions = len(transitions)
+                if once or healthy != last_verdict:
+                    out.write(verdict_line(doc) + "\n")
+                out.flush()
+                last_verdict = healthy
+                exit_code = EXIT_HEALTHY if healthy else EXIT_FIRING
+            polls += 1
+            if once or (iterations is not None and polls >= iterations):
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    if not reached:
+        return EXIT_UNREACHABLE
+    return exit_code

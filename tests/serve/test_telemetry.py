@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import ProvenanceStore, SpanRecorder, recording, span, tracing
 from repro.serve import (
     RequestLog,
@@ -58,6 +60,66 @@ class TestRequestLog:
         log.close()
         log.append(program="P")  # must not raise
         assert len(log) == 1
+
+    def test_rotation_off_by_default(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        log = RequestLog(path=str(path))
+        for _ in range(200):
+            log.append(program="P", status=200)
+        log.close()
+        assert not (tmp_path / "r.jsonl.1").exists()
+        assert log.rotations == 0
+
+    def test_rotates_between_whole_lines(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        log = RequestLog(path=str(path), max_bytes=400)
+        for index in range(12):
+            log.append(program="P", status=200, index=index)
+        log.close()
+        rotated = tmp_path / "r.jsonl.1"
+        assert rotated.exists() and log.rotations >= 1
+        # every line in both generations parses whole — rotation never
+        # splits an entry — and no entry was lost across generations
+        live = [json.loads(l) for l in path.read_text().splitlines()]
+        old = [json.loads(l) for l in rotated.read_text().splitlines()]
+        assert all("seq" in entry for entry in live + old)
+        assert live[-1]["seq"] == 12
+        # the live file respects the bound
+        assert path.stat().st_size <= 400
+
+    def test_rotation_counts_into_registry(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        log = RequestLog(path=str(tmp_path / "r.jsonl"), max_bytes=200,
+                         registry=registry)
+        for index in range(10):
+            log.append(program="P", index=index)
+        log.close()
+        assert registry.value("serve.request_log.rotations") == log.rotations
+        assert log.rotations >= 1
+
+    def test_rotation_resumes_existing_file_size(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text("x" * 390 + "\n")
+        log = RequestLog(path=str(path), max_bytes=400)
+        log.append(program="P")  # existing 391 bytes + line > 400
+        log.close()
+        assert log.rotations == 1
+        assert (tmp_path / "r.jsonl.1").read_text().startswith("x")
+
+    def test_single_generation_overwritten(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        log = RequestLog(path=str(path), max_bytes=150)
+        for index in range(30):
+            log.append(index=index)
+        log.close()
+        generations = sorted(p.name for p in tmp_path.iterdir())
+        assert generations == ["r.jsonl", "r.jsonl.1"]  # never .2
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestLog(path=str(tmp_path / "r.jsonl"), max_bytes=0)
 
 
 class TestTraceStore:
