@@ -44,12 +44,23 @@ ephemeral ports and drives ``POST /convert/<program>`` four ways:
     under its own ``serve_alerts`` family so the trend observatory
     never pairs it with the plain closed-loop numbers.
 
+``--mode quality``
+    The warm-cache closed loop paired back-to-back — shadow
+    verification off, then on (``--quality-sample``, default 8) — over
+    a repeated payload so cache hits (the path shadow verification
+    taxes) dominate. Reports the median per-pair throughput overhead;
+    ``--quality-max-overhead-pct`` gates it (CI uses 5). Hard gates:
+    the worker actually checked samples, and a self-consistent server
+    produced zero mismatches. Writes ``BENCH_PR9.json`` under its own
+    ``serve_quality`` family.
+
 Run standalone (not under pytest)::
 
     python benchmarks/bench_serve.py                        # closed loop
     python benchmarks/bench_serve.py --quick                # CI smoke
     python benchmarks/bench_serve.py --mode full --json BENCH_PR6.json
     python benchmarks/bench_serve.py --mode alerts --json BENCH_PR8.json
+    python benchmarks/bench_serve.py --mode quality --json BENCH_PR9.json
 """
 
 from __future__ import annotations
@@ -621,10 +632,94 @@ def run_alerts(args, payload):
     }, failures
 
 
+def run_quality(args, payload):
+    """Warm-cache closed loop with and without shadow verification,
+    paired back-to-back; the overhead gate for the quality observatory
+    (source-drift fingerprints ride the conversion path in both legs —
+    the pair isolates what PR 9 adds to the steady-state hit path)."""
+    failures = []
+    pairs = []
+    runs = {}
+    requests = max(args.requests, 25)
+    total = args.clients * requests
+    checked = mismatches = dropped = 0
+    warmup = MediatorServer(port=0, warm=False, cache_size=256)
+    warmup.warm_now()
+    with warmup:
+        drive_closed_loop(warmup, payload, args.clients,
+                          max(5, requests // 5), scrape=False)
+    for attempt in range(args.quality_pairs):
+        for label, sample in (("shadow_off", None),
+                              ("shadow_on", args.quality_sample)):
+            server = MediatorServer(port=0, warm=False, cache_size=256,
+                                    shadow_sample=sample)
+            server.warm_now()
+            with server:
+                wall_s, latencies, statuses, _ = drive_closed_loop(
+                    server, payload, args.clients, requests, scrape=False,
+                )
+                if sample is not None:
+                    # Let the worker drain what the run enqueued so the
+                    # mismatch gate judges every sampled hit.
+                    deadline = time.perf_counter() + 10.0
+                    while (server._shadow_queue.qsize()
+                           and time.perf_counter() < deadline):
+                        time.sleep(0.05)
+                    shadow = server.quality_payload()["shadow"]
+                    checked += shadow["checked"]
+                    mismatches += shadow["mismatches"]
+                    dropped += shadow["dropped"]
+            throughput = total / wall_s if wall_s else float("inf")
+            runs.setdefault(label, []).append(round(throughput, 1))
+            non_ok = {s: n for s, n in statuses.items() if s != 200}
+            if non_ok:
+                failures.append(f"{label}: non-200 responses {non_ok}")
+            if attempt == 0:
+                print(f"  {label:10}: {throughput:9.1f} req/s  "
+                      f"p50 {percentile(latencies, 0.5):.2f} ms")
+        off, on = runs["shadow_off"][-1], runs["shadow_on"][-1]
+        pairs.append((off / on - 1.0) * 100.0 if on else float("inf"))
+
+    pairs.sort()
+    middle = len(pairs) // 2
+    overhead_pct = (
+        pairs[middle] if len(pairs) % 2
+        else (pairs[middle - 1] + pairs[middle]) / 2.0
+    )
+    print(f"  overhead  : {overhead_pct:+9.2f}% (median of "
+          f"{len(pairs)} back-to-back pair(s); "
+          f"{checked:g} shadow check(s), {mismatches:g} mismatch(es))")
+    if checked == 0:
+        failures.append(
+            "shadow verification never checked a sample during the "
+            "shadow-on legs — lengthen the run or shrink --quality-sample"
+        )
+    if mismatches:
+        failures.append(
+            f"shadow verification disagreed with the cache on a "
+            f"self-consistent server ({mismatches:g} mismatch(es))"
+        )
+    if args.quality_max_overhead_pct is not None and \
+            overhead_pct > args.quality_max_overhead_pct:
+        failures.append(
+            f"shadow-verification overhead {overhead_pct:+.2f}% exceeds "
+            f"the {args.quality_max_overhead_pct:.1f}% budget"
+        )
+    return {
+        "sample": args.quality_sample,
+        "runs": {label: {"throughput_rps": values}
+                 for label, values in runs.items()},
+        "pair_overheads_pct": [round(value, 2) for value in pairs],
+        "overhead_pct": round(overhead_pct, 2),
+        "shadow": {"checked": checked, "mismatches": mismatches,
+                   "dropped": dropped},
+    }, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", choices=("closed", "ablation", "open",
-                                           "full", "alerts"),
+                                           "full", "alerts", "quality"),
                         default="closed")
     parser.add_argument("--clients", type=int, default=8,
                         help="concurrent client threads (default 8)")
@@ -661,6 +756,17 @@ def main(argv=None) -> int:
                         default=None, metavar="PCT",
                         help="fail when the alert evaluator costs more than "
                              "PCT%% closed-loop throughput (CI uses 5)")
+    parser.add_argument("--quality-pairs", type=int, default=3,
+                        help="back-to-back off/on pairs for --mode quality "
+                             "(default 3; the overhead is their median)")
+    parser.add_argument("--quality-sample", type=int, default=8,
+                        metavar="N",
+                        help="shadow-verify 1-in-N cache hits during "
+                             "--mode quality (default 8)")
+    parser.add_argument("--quality-max-overhead-pct", type=float,
+                        default=None, metavar="PCT",
+                        help="fail when shadow verification costs more than "
+                             "PCT%% warm-cache throughput (CI uses 5)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke sizes")
     parser.add_argument("--json", metavar="FILE", dest="json_path",
@@ -679,7 +785,9 @@ def main(argv=None) -> int:
     # The alerts mode gets its own trend family: compare.py pairs
     # artifacts by family, and an overhead A/B must never be gated
     # against the plain closed-loop throughput numbers.
-    family = "serve_alerts" if args.mode == "alerts" else "serve"
+    family = {"alerts": "serve_alerts", "quality": "serve_quality"}.get(
+        args.mode, "serve"
+    )
     report = {"benchmark": family, "mode": args.mode}
     failures = []
 
@@ -698,6 +806,10 @@ def main(argv=None) -> int:
         print("alert-evaluator overhead (closed loop, off vs on):")
         report["alerts"], alert_failures = run_alerts(args, payload)
         failures.extend(alert_failures)
+    if args.mode == "quality":
+        print("shadow-verification overhead (warm cache, off vs on):")
+        report["quality"], quality_failures = run_quality(args, payload)
+        failures.extend(quality_failures)
 
     for failure in failures:
         print(f"FAIL: {failure}")

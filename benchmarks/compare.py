@@ -79,6 +79,11 @@ HEADLINES: Dict[str, List[Tuple[str, str, str, bool]]] = {
         ("evaluator overhead %", "alerts.overhead_pct", "lower", False),
         ("evaluations under load", "alerts.evaluations", "higher", False),
     ],
+    "serve_quality": [
+        ("shadow overhead %", "quality.overhead_pct", "lower", False),
+        ("shadow checks under load", "quality.shadow.checked",
+         "higher", False),
+    ],
 }
 
 

@@ -16,6 +16,8 @@ Usage::
     python -m repro convert O2Web data.sgml --flamegraph flame.txt
     python -m repro profile SgmlBrochuresToOdmg brochures.sgml -o p.json
     python -m repro stats SgmlBrochuresToOdmg brochures.sgml --format prometheus
+    python -m repro quality SgmlBrochuresToOdmg brochures.sgml
+    python -m repro diff SgmlBrochuresToOdmg before.sgml after.sgml
     python -m repro pipeline brochures.sgml -o site/   # SGML -> HTML direct
     python -m repro serve --port 8023                  # long-running daemon
     python -m repro serve --alerts rules.toml          # + SLO alerting
@@ -56,8 +58,11 @@ from .obs import (
     metrics_to_json,
     metrics_to_prometheus,
     profiling,
+    quality_report,
     record,
     recording,
+    render_diff_text,
+    semantic_diff,
     span,
     tracing,
     write_profile,
@@ -244,10 +249,15 @@ def cmd_convert(args, library: Library) -> int:
         )
         print(f"profile written to {args.profile}", file=sys.stderr)
     if eventing:
-        events.write(args.events)
+        events.write(args.events, max_bytes=args.events_log_max_bytes)
+        rotated = (
+            f", {events.last_rotations} rotation(s)"
+            if events.last_rotations else ""
+        )
         print(
             f"{len(events)} event(s) written to {args.events} "
-            f"({provenance.recorded}/{provenance.firings} firing(s) recorded)",
+            f"({provenance.recorded}/{provenance.firings} firing(s) recorded"
+            f"{rotated})",
             file=sys.stderr,
         )
     if result.unconverted:
@@ -425,6 +435,58 @@ def cmd_stats(args, library: Library) -> int:
     return 0
 
 
+def cmd_quality(args, library: Library) -> int:
+    """Run a conversion and report its quality: rule coverage (fired /
+    never-fired / fallback-only), per-rule input share, and
+    unconverted-input accounting (docs/OBSERVABILITY.md, "Conversion
+    quality"). Exits 1 when --strict and the run left rules cold or
+    inputs unconverted."""
+    program = _load_program(args.program, library)
+    registry = MetricsRegistry()
+    provenance = ProvenanceStore()
+    with collecting(registry), tracing(provenance):
+        store = _read_inputs(args.inputs, coerce_numbers=not args.no_coerce)
+        result = program.run(store, runtime_typing=args.runtime_typing)
+    report = quality_report(program, result)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(), end="")
+    if args.strict and (
+        report.never_fired or float(report.inputs["unconverted"])
+    ):
+        return 1
+    return 0
+
+
+def cmd_diff(args, library: Library) -> int:
+    """Convert two inputs through the same program and diff the outputs
+    on canonical Skolem terms, attributing every added / removed /
+    changed node to the rule and binding inputs that produced it."""
+    program = _load_program(args.program, library)
+
+    def run_side(path: str):
+        registry = MetricsRegistry()
+        provenance = ProvenanceStore()
+        with collecting(registry), tracing(provenance):
+            store = _read_inputs([path], coerce_numbers=not args.no_coerce)
+            return program.run(store, runtime_typing=args.runtime_typing)
+
+    result_a = run_side(args.input_a)
+    result_b = run_side(args.input_b)
+    diff = semantic_diff(result_a, result_b)
+    if args.format == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff_text(diff), end="")
+    summary = diff["summary"]
+    changed = (
+        int(summary["added"]) + int(summary["removed"])
+        + int(summary["changed"])
+    )
+    return 1 if (args.exit_code and changed) else 0
+
+
 def cmd_serve(args, library: Library) -> int:
     """Run the mediator as a long-lived daemon (see repro.serve)."""
     from .obs.alerts import load_rules
@@ -449,7 +511,15 @@ def cmd_serve(args, library: Library) -> int:
         history_capacity=args.history_capacity,
         alert_rules=alert_rules,
         request_log_max_bytes=args.request_log_max_bytes,
+        shadow_sample=args.shadow_sample,
     )
+    if args.shadow_sample:
+        print(
+            f"shadow verification: re-converting 1 in "
+            f"{args.shadow_sample} cache hit(s) in the background "
+            f"(GET /quality for the verdict)",
+            file=sys.stderr,
+        )
     if alert_rules:
         print(
             f"alerting: {len(alert_rules)} rule(s) from {args.alerts} "
@@ -469,7 +539,7 @@ def cmd_serve(args, library: Library) -> int:
     print(
         f"repro serve listening on http://{server.host}:{server.port} "
         f"(endpoints: POST /convert/<program>, GET /metrics /healthz "
-        f"/readyz /stats /stats/history /alerts /debug/profile "
+        f"/readyz /stats /stats/history /alerts /quality /debug/profile "
         f"/trace/<id>)",
         file=sys.stderr,
     )
@@ -511,6 +581,7 @@ def cmd_watch(args, library: Library) -> int:
         interval=args.interval,
         iterations=args.iterations,
         timeout=args.timeout,
+        check_shadow=not args.no_shadow,
     )
 
 
@@ -561,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--events", metavar="FILE",
                          help="write the structured JSONL event log (one "
                               "rule.fired event per recorded firing) to FILE")
+    convert.add_argument("--events-log-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="rotate the --events log to FILE.1 once it "
+                              "would exceed N bytes (default: no rotation)")
     convert.add_argument("--flamegraph", metavar="FILE",
                          help="sample the run with the wall-clock profiler "
                               "and write a flamegraph to FILE (.json = "
@@ -647,6 +722,43 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--no-coerce", action="store_true",
                        help="keep numeric-looking PCDATA as strings")
 
+    quality = sub.add_parser(
+        "quality",
+        help="run a conversion and report rule coverage (fired / "
+             "never-fired / fallback-only) and unconverted inputs",
+    )
+    quality.add_argument("program")
+    quality.add_argument("inputs", nargs="+", help="SGML input file(s)")
+    quality.add_argument("--format", choices=["text", "json"],
+                         default="text")
+    quality.add_argument("--strict", action="store_true",
+                         help="exit 1 when any rule never fired or any "
+                              "input stayed unconverted")
+    quality.add_argument("--runtime-typing", action="store_true",
+                         help="raise on inputs matched by no rule "
+                              "(Section 3.5)")
+    quality.add_argument("--no-coerce", action="store_true",
+                         help="keep numeric-looking PCDATA as strings")
+
+    diff = sub.add_parser(
+        "diff",
+        help="convert two inputs through one program and diff the "
+             "outputs on canonical Skolem terms (with rule/provenance "
+             "attribution)",
+    )
+    diff.add_argument("program")
+    diff.add_argument("input_a", help="SGML input file (before)")
+    diff.add_argument("input_b", help="SGML input file (after)")
+    diff.add_argument("--format", choices=["text", "json"], default="text")
+    diff.add_argument("--exit-code", action="store_true",
+                      help="exit 1 when the outputs differ (git-diff "
+                           "convention for scripts)")
+    diff.add_argument("--runtime-typing", action="store_true",
+                      help="raise on inputs matched by no rule "
+                           "(Section 3.5)")
+    diff.add_argument("--no-coerce", action="store_true",
+                      help="keep numeric-looking PCDATA as strings")
+
     pipeline = sub.add_parser(
         "pipeline", help="SGML brochures to HTML in one composed step"
     )
@@ -707,6 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="/stats/history ring size in samples "
                             "(default 360 — half an hour at the default "
                             "interval)")
+    serve.add_argument("--shadow-sample", type=int, default=None,
+                       metavar="N",
+                       help="shadow verification: re-convert 1 in N "
+                            "result-cache hits on a background worker and "
+                            "byte-compare against the cached response "
+                            "(GET /quality; default: off)")
     serve.add_argument("--debug-delay", action="store_true",
                        help=argparse.SUPPRESS)  # honor ?delay_ms= (tests)
 
@@ -737,6 +855,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poll N times then exit (default: until ^C)")
     watch.add_argument("--timeout", type=float, default=5.0,
                        help="per-poll HTTP timeout in seconds (default 5)")
+    watch.add_argument("--no-shadow", action="store_true",
+                       help="judge on alerts alone: ignore shadow "
+                            "verification mismatches from GET /quality")
 
     return parser
 
@@ -754,6 +875,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "lineage": cmd_lineage,
         "stats": cmd_stats,
+        "quality": cmd_quality,
+        "diff": cmd_diff,
         "pipeline": cmd_pipeline,
         "serve": cmd_serve,
         "top": cmd_top,

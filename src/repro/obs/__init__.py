@@ -36,7 +36,16 @@ Three modules:
   threshold and error-budget burn-rate rules evaluated per history
   tick by an :class:`AlertEvaluator` (``ok -> pending -> firing ->
   resolved`` with ``for``-duration hysteresis), behind ``GET /alerts``
-  and the ``repro watch`` health verdict.
+  and the ``repro watch`` health verdict;
+* :mod:`.quality` — the conversion-quality observatory: per-run rule
+  coverage + unconverted-input :class:`QualityReport` (``repro
+  quality``), structural wrapper-forest fingerprints with a normalized
+  drift score published as the ``repro.source_drift`` gauge, semantic
+  diff on canonical Skolem terms with provenance attribution (``repro
+  diff``), and the :func:`response_core` primitive shadow verification
+  byte-compares cached responses with;
+* :mod:`.rotation` — the shared size-bounded JSONL writer behind the
+  serve request log and ``repro convert --events`` rotation.
 
 Overhead discipline: metric *mutation* takes one lock; the truly hot
 paths (per-subject memo probes, dispatch admission checks) accumulate
@@ -103,6 +112,24 @@ from .provenance import (
     stamp_inputs,
     tracing,
 )
+from .quality import (
+    DRIFT_GAUGE,
+    FingerprintTracker,
+    ForestFingerprint,
+    QualityReport,
+    canonical_term,
+    drift_components,
+    drift_score,
+    drift_snapshot,
+    fingerprint_store,
+    quality_report,
+    render_diff_text,
+    response_core,
+    semantic_diff,
+    stamp_fingerprint,
+    tracker_for,
+)
+from .rotation import RotatingJsonlWriter
 
 __all__ = [
     "LATENCY_MS_BUCKETS",
@@ -150,4 +177,20 @@ __all__ = [
     "ambient_provenance",
     "stamp_inputs",
     "tracing",
+    "DRIFT_GAUGE",
+    "FingerprintTracker",
+    "ForestFingerprint",
+    "QualityReport",
+    "canonical_term",
+    "drift_components",
+    "drift_score",
+    "drift_snapshot",
+    "fingerprint_store",
+    "quality_report",
+    "render_diff_text",
+    "response_core",
+    "semantic_diff",
+    "stamp_fingerprint",
+    "tracker_for",
+    "RotatingJsonlWriter",
 ]

@@ -25,6 +25,8 @@ import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
+from .rotation import RotatingJsonlWriter
+
 
 class EventLog:
     """An append-only, thread-safe list of JSON-ready events."""
@@ -32,6 +34,8 @@ class EventLog:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: List[Dict[str, object]] = []
+        #: Rotations performed by the most recent :meth:`write` call.
+        self.last_rotations = 0
 
     def emit(self, type: str, **fields: object) -> Dict[str, object]:
         """Append one event; returns the stored record."""
@@ -61,13 +65,24 @@ class EventLog:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write(self, path: str) -> int:
-        """Write the log to *path* as JSONL; returns the event count."""
+    def write(self, path: str, max_bytes: Optional[int] = None) -> int:
+        """Write the log to *path* as JSONL; returns the event count.
+
+        ``max_bytes`` bounds the file through the shared
+        :class:`~repro.obs.rotation.RotatingJsonlWriter`: when a line
+        would push the file past the limit it rolls to ``<path>.1``
+        and a fresh file continues — the same single-generation policy
+        the serve request log uses (``repro convert
+        --events-log-max-bytes``). The rotation count is left in
+        :attr:`last_rotations` afterward."""
         events = self.events()
-        with open(path, "w") as handle:
+        writer = RotatingJsonlWriter(path, max_bytes=max_bytes, mode="w")
+        try:
             for event in events:
-                handle.write(json.dumps(event, sort_keys=True, default=str))
-                handle.write("\n")
+                writer.write_record(event)
+        finally:
+            writer.close()
+        self.last_rotations = writer.rotations
         return len(events)
 
     def __len__(self) -> int:

@@ -1,0 +1,101 @@
+"""Size-bounded JSONL file writing, shared across the log surfaces.
+
+Both long-lived JSONL artifacts — the serve daemon's request log
+(:class:`repro.serve.telemetry.RequestLog`) and the CLI's
+``--events`` log (:meth:`repro.obs.events.EventLog.write`) — need the
+same discipline: a file that stops growing without bound by rolling to
+a single ``<path>.1`` generation when the next line would push it past
+``max_bytes``. :class:`RotatingJsonlWriter` is that discipline, once.
+
+The writer is deliberately *not* internally locked: every caller
+already serializes its writes (RequestLog under its own lock, EventLog
+writing from one thread), and a second lock here would only hide a
+caller that forgot to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional
+
+
+class RotatingJsonlWriter:
+    """Append JSON lines to *path*, rolling to ``<path>.1`` at ``max_bytes``.
+
+    One rotation generation is kept (``<path>.1`` is overwritten);
+    lines are never split across generations — rotation happens
+    *before* a write that would cross the limit, so each file holds
+    whole records. ``max_bytes=None`` disables rotation entirely.
+    ``on_rotate`` (when given) runs after each rotation — the hook the
+    request log counts its ``serve.request_log.rotations`` metric
+    through.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        on_rotate: Optional[Callable[[], None]] = None,
+        mode: str = "a",
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None to disable)")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
+        self._on_rotate = on_rotate
+        self._handle = open(path, mode)
+        # Append mode resumes an existing file: size accounting must
+        # start from what is already there, not zero.
+        self._bytes = self._handle.tell()
+
+    def write_record(self, record: Dict[str, object]) -> str:
+        """Serialize *record* as one compact JSON line and append it,
+        rotating first if the line would cross the limit. Returns the
+        written line."""
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        self.write_line(line)
+        return line
+
+    def write_line(self, line: str) -> None:
+        """Append one pre-serialized line (must end with a newline)."""
+        if (
+            self.max_bytes is not None
+            and self._bytes
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self.rotate()
+        self._handle.write(line)
+        self._bytes += len(line)
+
+    def rotate(self) -> None:
+        """Roll the live file to ``<path>.1`` and start a fresh one."""
+        self._handle.flush()
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a")
+        self._bytes = 0
+        self.rotations += 1
+        if self._on_rotate is not None:
+            self._on_rotate()
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def __repr__(self) -> str:
+        limit = self.max_bytes if self.max_bytes is not None else "off"
+        return (
+            f"RotatingJsonlWriter({self.path!r}, max_bytes={limit}, "
+            f"{self.rotations} rotation(s))"
+        )

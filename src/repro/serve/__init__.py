@@ -29,7 +29,9 @@ from .watch import (
     EXIT_HEALTHY,
     EXIT_UNREACHABLE,
     fetch_alerts,
+    fetch_quality,
     run_watch,
+    shadow_mismatches,
     verdict,
     verdict_line,
 )
@@ -53,7 +55,9 @@ __all__ = [
     "EXIT_HEALTHY",
     "EXIT_UNREACHABLE",
     "fetch_alerts",
+    "fetch_quality",
     "run_watch",
+    "shadow_mismatches",
     "verdict",
     "verdict_line",
 ]

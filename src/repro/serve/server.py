@@ -26,6 +26,9 @@ clients, not one-shot CLIs. :class:`MediatorServer` wraps a shared
                              rule's state, recent transitions, and a
                              top-level ``healthy`` flag (what ``repro
                              watch`` polls)
+``GET /quality``             conversion-quality health: shadow
+                             verification counters + recent mismatches
+                             and the per-source drift snapshot
 ===========================  ==============================================
 
 Every request gets a trace id (honoring an inbound ``X-Trace-Id``
@@ -62,11 +65,13 @@ from __future__ import annotations
 
 import json
 import math
+import queue
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
 from .. import __version__
@@ -83,8 +88,10 @@ from ..obs import (
     SpanRecorder,
     ambient_recorder,
     collecting,
+    drift_snapshot,
     metrics_to_prometheus,
     recording,
+    response_core,
     span,
     tracing,
 )
@@ -154,6 +161,7 @@ class MediatorServer:
         history_capacity: int = 360,
         alert_rules: Optional[Sequence[object]] = None,
         request_log_max_bytes: Optional[int] = None,
+        shadow_sample: Optional[int] = None,
     ) -> None:
         self.system = system if system is not None else YatSystem()
         self.registry = self.system.metrics
@@ -228,6 +236,30 @@ class MediatorServer:
             registry=self.registry,
             events=self.events,
         ).watch()
+        # Live shadow verification (docs/OBSERVABILITY.md, "Conversion
+        # quality"): re-convert a deterministic 1-in-N sample of cache
+        # hits on a background worker and byte-compare the fresh
+        # response core against what the cache served — catching
+        # cache-coherence and nondeterminism bugs while they are one
+        # stale entry, not an incident. Off (None) by default.
+        if shadow_sample is not None and shadow_sample < 1:
+            raise ValueError("shadow_sample must be >= 1 (or None to disable)")
+        self.shadow_sample = shadow_sample
+        self._shadow_lock = threading.Lock()
+        self._shadow_counter = 0
+        self._shadow_queue: "queue.Queue[Tuple[str, str, str, bool, int, Dict[str, object]]]" = (
+            queue.Queue(maxsize=128)
+        )
+        self._shadow_mismatches: Deque[Dict[str, object]] = deque(maxlen=32)
+        self._shadow_stop = threading.Event()
+        self._shadow_thread: Optional[threading.Thread] = None
+        if self.shadow_sample is not None:
+            self._shadow_thread = threading.Thread(
+                target=self._shadow_worker,
+                name="repro-serve-shadow",
+                daemon=True,
+            )
+            self._shadow_thread.start()
         self.event_log_path = event_log_path
         self.allow_test_delay = allow_test_delay
         self.drain_timeout_s = drain_timeout_s
@@ -332,6 +364,11 @@ class MediatorServer:
                     )
                     break
                 self._inflight_cv.wait(remaining)
+        if self._shadow_thread is not None:
+            # Pending shadow checks are best-effort: stop the worker
+            # after the request drain rather than draining its queue.
+            self._shadow_stop.set()
+            self._shadow_thread.join(timeout=5)
         self._history_sampler.stop()  # final tick records shutdown state
         self._httpd.server_close()  # close the listening socket
         if self._serve_thread is not None:
@@ -378,7 +415,8 @@ class MediatorServer:
             return programs.setdefault(
                 program,
                 {"requests": 0.0, "errors": 0.0, "rejected": 0.0,
-                 "cache_hits": 0.0},
+                 "cache_hits": 0.0, "shadow_ok": 0.0,
+                 "shadow_mismatches": 0.0},
             )
 
         for labels, value in requests.samples():
@@ -389,6 +427,14 @@ class MediatorServer:
             entry_for(labels.get("program", "?"))["rejected"] += value
         for labels, value in cache_hits.samples():
             entry_for(labels.get("program", "?"))["cache_hits"] += value
+        for name, field in (
+            ("serve.shadow.ok", "shadow_ok"),
+            ("serve.shadow.mismatches", "shadow_mismatches"),
+        ):
+            metric = self.registry.get(name)
+            if metric is not None:
+                for labels, value in metric.samples():
+                    entry_for(labels.get("program", "?"))[field] += value
         for program, entry in programs.items():
             stats = latency.stats(program=program)
             latency_block: Dict[str, object] = {
@@ -441,6 +487,7 @@ class MediatorServer:
                     "interval_s": self._history_sampler.interval_s,
                 },
                 "alerts": self.alerts.summary(),
+                "quality": self.quality_payload(),
             },
             "programs": programs,
             "requests": self.request_log.tail(20),
@@ -511,6 +558,123 @@ class MediatorServer:
             depth = self._queue_depth
         return max(1, min(30, math.ceil(depth * p50_ms / 1000.0)))
 
+    # -- shadow verification ------------------------------------------------
+
+    def _maybe_shadow(
+        self, program_name: str, body: str, to: str, include_output: bool,
+        status: int, payload: Dict[str, object],
+    ) -> None:
+        """Enqueue every Nth cache hit for background re-verification.
+
+        Sampling is a deterministic stride (hits 1, N+1, 2N+1, ...), so
+        tests and operators can predict exactly which hits verify. The
+        queue is bounded and non-blocking: under pressure the sample is
+        dropped (counted), never the request latency."""
+        if self.shadow_sample is None:
+            return
+        with self._shadow_lock:
+            self._shadow_counter += 1
+            selected = (self._shadow_counter - 1) % self.shadow_sample == 0
+        if not selected:
+            return
+        self.registry.counter(
+            "serve.shadow.sampled", "cache hits sampled for shadow verification"
+        ).inc(program=program_name)
+        try:
+            self._shadow_queue.put_nowait(
+                (program_name, body, to, include_output, status, payload)
+            )
+        except queue.Full:
+            self.registry.counter(
+                "serve.shadow.dropped", "shadow samples dropped (queue full)"
+            ).inc(program=program_name)
+
+    def _shadow_worker(self) -> None:
+        """Drain the shadow queue until shutdown; one bad check must
+        never kill the worker (errors are counted, the loop survives)."""
+        while not self._shadow_stop.is_set():
+            try:
+                item = self._shadow_queue.get(timeout=0.25)
+            except queue.Empty:
+                continue
+            try:
+                self._shadow_check(*item)
+            except Exception as exc:
+                self.registry.counter(
+                    "serve.shadow.errors", "shadow verification internal errors"
+                ).inc(error=type(exc).__name__)
+
+    def _shadow_check(
+        self, program_name: str, body: str, to: str, include_output: bool,
+        cached_status: int, cached_payload: Dict[str, object],
+    ) -> None:
+        """Re-convert one sampled hit and byte-compare response cores.
+
+        The re-conversion runs straight through :meth:`_execute` —
+        bypassing the cache and admission control, with no ambient
+        collectors on this thread, so the verification neither counts
+        toward request metrics nor re-stamps wrapper fingerprints."""
+        self.registry.counter(
+            "serve.shadow.checked", "shadow verifications executed"
+        ).inc(program=program_name)
+        live_status, live_payload, _counts = self._execute(
+            program_name, body, to, include_output, 0.0
+        )
+        cached_core = response_core(cached_payload)
+        live_core = response_core(live_payload)
+        if live_status == cached_status and live_core == cached_core:
+            self.registry.counter(
+                "serve.shadow.ok", "shadow verifications matching the cache"
+            ).inc(program=program_name)
+            return
+        self.registry.counter(
+            "serve.shadow.mismatches",
+            "shadow verifications disagreeing with the cache",
+        ).inc(program=program_name)
+        differing = sorted(
+            key
+            for key in set(cached_payload) | set(live_payload)
+            if key not in ("trace_id", "latency_ms", "cache_hit")
+            and cached_payload.get(key) != live_payload.get(key)
+        )
+        detail = {
+            "program": program_name,
+            "cached_status": cached_status,
+            "live_status": live_status,
+            "fields": differing,
+            "ts": round(time.time(), 3),
+        }
+        with self._shadow_lock:
+            self._shadow_mismatches.append(detail)
+        self.events.emit("shadow.mismatch", **detail)
+
+    def quality_payload(self) -> Dict[str, object]:
+        """The ``GET /quality`` document: shadow-verification health
+        plus the per-source drift snapshot (what ``repro watch`` folds
+        into its verdict and ``repro top``'s SHADOW column reads)."""
+        def total(name: str) -> float:
+            metric = self.registry.get(name)
+            return metric.total() if metric is not None else 0.0
+
+        shadow: Dict[str, object] = {
+            "enabled": self.shadow_sample is not None,
+            "sample": self.shadow_sample,
+            "sampled": total("serve.shadow.sampled"),
+            "checked": total("serve.shadow.checked"),
+            "ok": total("serve.shadow.ok"),
+            "mismatches": total("serve.shadow.mismatches"),
+            "dropped": total("serve.shadow.dropped"),
+            "pending": self._shadow_queue.qsize(),
+        }
+        with self._shadow_lock:
+            shadow["recent_mismatches"] = [
+                dict(detail) for detail in self._shadow_mismatches
+            ]
+        return {
+            "shadow": shadow,
+            "drift": drift_snapshot(self.registry),
+        }
+
     # -- the conversion path ------------------------------------------------
 
     def convert(
@@ -580,6 +744,13 @@ class MediatorServer:
             hit = self.cache.get(cache_key)
             if hit is not None:
                 status, payload, counts = hit
+                # Shadow verification samples the hit *before* the
+                # per-request cache_hit stamp, on its own copy — the
+                # response being returned is never touched.
+                self._maybe_shadow(
+                    program_name, body, to, include_output, status,
+                    dict(payload),
+                )
                 payload["cache_hit"] = True
                 return status, payload, counts, True
         if not self._try_admit():
@@ -788,6 +959,9 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self._hit("stats")
             self._send_json(200, mediator.stats())
+        elif path == "/quality":
+            self._hit("quality")
+            self._send_json(200, mediator.quality_payload())
         elif path == "/alerts":
             self._hit("alerts")
             query = parse_qs(parsed.query)
@@ -884,7 +1058,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "error": f"no such endpoint {path!r}",
                 "endpoints": ["/convert/<program> (POST)", "/metrics",
                               "/healthz", "/readyz", "/stats",
-                              "/stats/history", "/alerts",
+                              "/stats/history", "/alerts", "/quality",
                               "/debug/profile", "/trace/<trace_id>"],
             })
 

@@ -17,8 +17,6 @@ artifacts on top of the shared :class:`~repro.obs.MetricsRegistry`:
 
 from __future__ import annotations
 
-import json
-import os
 import re
 import threading
 import time
@@ -27,6 +25,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.rotation import RotatingJsonlWriter
 from ..obs.spans import Span, SpanRecorder
 
 #: Accepted inbound trace ids: printable, no whitespace/quotes, short
@@ -59,12 +58,13 @@ class RequestLog:
     OS buffer, and :meth:`flush`/:meth:`close` (called by graceful
     shutdown) drain that too.
 
-    ``max_bytes`` bounds the on-disk file: once a write would push it
-    past the limit the file rotates to ``<path>.1`` (one generation,
-    overwritten) and a fresh file begins — a long-lived daemon's log
-    stops growing without bound. Off (None) by default; rotations are
-    counted in the ``serve.request_log.rotations`` metric when a
-    registry is given.
+    ``max_bytes`` bounds the on-disk file via the shared
+    :class:`~repro.obs.rotation.RotatingJsonlWriter`: once a write
+    would push it past the limit the file rotates to ``<path>.1`` (one
+    generation, overwritten) and a fresh file begins — a long-lived
+    daemon's log stops growing without bound. Off (None) by default;
+    rotations are counted in the ``serve.request_log.rotations`` metric
+    when a registry is given.
     """
 
     def __init__(
@@ -78,15 +78,27 @@ class RequestLog:
             raise ValueError("max_bytes must be >= 1 (or None to disable)")
         self.path = path
         self.max_bytes = max_bytes
-        self.rotations = 0
         self._registry = registry
         self._lock = threading.Lock()
         self._tail: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._count = 0
-        self._handle = open(path, "a") if path else None
-        # Append mode resumes an existing file: size accounting must
-        # start from what is already there, not zero.
-        self._bytes = self._handle.tell() if self._handle is not None else 0
+        self._writer = (
+            RotatingJsonlWriter(
+                path, max_bytes=max_bytes, on_rotate=self._count_rotation
+            )
+            if path
+            else None
+        )
+
+    @property
+    def rotations(self) -> int:
+        return self._writer.rotations if self._writer is not None else 0
+
+    def _count_rotation(self) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                "serve.request_log.rotations", "request-log file rotations"
+            ).inc()
 
     def append(self, **fields: object) -> Dict[str, object]:
         entry: Dict[str, object] = {
@@ -98,32 +110,11 @@ class RequestLog:
             self._count += 1
             entry["seq"] = self._count
             self._tail.append(entry)
-            if self._handle is not None:
-                line = json.dumps(entry, sort_keys=True, default=str) + "\n"
-                if (
-                    self.max_bytes is not None
-                    and self._bytes
-                    and self._bytes + len(line) > self.max_bytes
-                ):
-                    self._rotate()
-                self._handle.write(line)
-                self._bytes += len(line)
+            if self._writer is not None and not self._writer.closed:
+                # Appends racing a close keep the in-memory tail only
+                # (the pre-rotation behavior): stop() closed the file.
+                self._writer.write_record(entry)
         return entry
-
-    def _rotate(self) -> None:
-        """Roll the live file to ``<path>.1`` (lock held). Entries are
-        never split across generations: rotation happens between whole
-        lines, and the in-memory tail is unaffected."""
-        self._handle.flush()
-        self._handle.close()
-        os.replace(self.path, self.path + ".1")
-        self._handle = open(self.path, "a")
-        self._bytes = 0
-        self.rotations += 1
-        if self._registry is not None:
-            self._registry.counter(
-                "serve.request_log.rotations", "request-log file rotations"
-            ).inc()
 
     def tail(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
         """The most recent entries, oldest first."""
@@ -135,15 +126,13 @@ class RequestLog:
 
     def flush(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.flush()
+            if self._writer is not None and not self._writer.closed:
+                self._writer.flush()
 
     def close(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.flush()
-                self._handle.close()
-                self._handle = None
+            if self._writer is not None and not self._writer.closed:
+                self._writer.close()
 
     def __len__(self) -> int:
         with self._lock:

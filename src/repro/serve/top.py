@@ -25,7 +25,7 @@ SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 _TABLE_HEADER = (
     f"{'PROGRAM':<28} {'REQS':>8} {'REQ/S':>8} {'ERR':>6} {'REJ':>6} "
-    f"{'HIT%':>6} {'P50MS':>8} {'P95MS':>8} {'P99MS':>8}"
+    f"{'HIT%':>6} {'SHADOW':>8} {'P50MS':>8} {'P95MS':>8} {'P99MS':>8}"
 )
 
 
@@ -126,6 +126,17 @@ def _ms(value: Optional[float]) -> str:
     if not math.isfinite(number):
         return "-"
     return f"{number:.1f}"
+
+
+def _shadow_cell(entry: Dict[str, object]) -> str:
+    """Shadow verification ok/mismatch counts for one program row
+    (``-`` before any check has run — or against an older daemon whose
+    ``/stats`` rows carry no shadow fields)."""
+    ok = float(entry.get("shadow_ok", 0) or 0)
+    mismatches = float(entry.get("shadow_mismatches", 0) or 0)
+    if not ok and not mismatches:
+        return "-"
+    return f"{int(ok)}/{int(mismatches)}"
 
 
 def _hit_pct(entry: Dict[str, object]) -> str:
@@ -257,6 +268,13 @@ def render(
             f"coalesce {coalesce.get('window_ms')}ms "
             f"batches {int(float(coalesce.get('batches', 0) or 0))}"
         )
+    shadow = (server.get("quality") or {}).get("shadow", {})
+    if shadow.get("enabled"):
+        fast_path.append(
+            f"shadow 1/{int(float(shadow.get('sample', 0) or 0))} "
+            f"ok {int(float(shadow.get('ok', 0) or 0))} "
+            f"mismatch {int(float(shadow.get('mismatches', 0) or 0))}"
+        )
     if fast_path:
         lines.append("   ".join(fast_path))
     lines.extend(["", _TABLE_HEADER])
@@ -273,6 +291,7 @@ def render(
             f"{int(float(entry.get('errors', 0))):>6} "
             f"{int(float(entry.get('rejected', 0))):>6} "
             f"{_hit_pct(entry):>6} "
+            f"{_shadow_cell(entry):>8} "
             f"{_ms(latency.get('p50')):>8} "
             f"{_ms(latency.get('p95')):>8} "
             f"{_ms(latency.get('p99')):>8}"

@@ -8,10 +8,17 @@ evaluator judges the SLOs; this command only reports its verdict.
 Exit codes:
 
 ===  ========================================================
-0    healthy — no rule firing
+0    healthy — no rule firing, no shadow mismatch
 1    the daemon was unreachable (or never became reachable)
-2    unhealthy — at least one rule firing
+2    unhealthy — at least one rule firing, or shadow
+     verification has caught a mismatched cached response
 ===  ========================================================
+
+Shadow verification (``repro serve --shadow-sample N``) counts toward
+the verdict: a daemon whose ``GET /quality`` reports mismatches is
+serving wrong bytes and exits 2 even with every SLO green. Opt out
+with ``--no-shadow``; a daemon without the endpoint (or with shadow
+verification off) is judged on alerts alone.
 
 ``--once`` polls a single verdict; without it the command keeps
 polling, printing each alert transition as it appears, until
@@ -37,6 +44,24 @@ def fetch_alerts(url: str, timeout: float = 5.0) -> Dict[str, object]:
     with urllib.request.urlopen(url.rstrip("/") + "/alerts",
                                 timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_quality(url: str, timeout: float = 5.0) -> Dict[str, object]:
+    """One ``GET /quality`` poll, parsed."""
+    with urllib.request.urlopen(url.rstrip("/") + "/quality",
+                                timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def shadow_mismatches(doc: Optional[Dict[str, object]]) -> int:
+    """Mismatch count from a ``/quality`` document (0 when absent)."""
+    if not doc:
+        return 0
+    shadow = doc.get("shadow", {})
+    try:
+        return int(float(shadow.get("mismatches", 0)))
+    except (TypeError, ValueError):
+        return 0
 
 
 def verdict(doc: Dict[str, object]) -> Tuple[bool, List[str], List[str]]:
@@ -86,13 +111,17 @@ def run_watch(
     iterations: Optional[int] = None,
     timeout: float = 5.0,
     out: Optional[TextIO] = None,
+    check_shadow: bool = True,
 ) -> int:
-    """Poll ``/alerts`` and return the verdict exit code.
+    """Poll ``/alerts`` (and ``/quality``) for the verdict exit code.
 
     ``--once`` (one poll) is the CI mode; the watch loop prints the
     verdict whenever it changes plus every new transition the daemon
     reports, and returns the last verdict on interrupt or after
-    ``iterations`` polls.
+    ``iterations`` polls. With ``check_shadow`` (the default), shadow
+    verification mismatches reported by ``GET /quality`` make the
+    verdict unhealthy; a daemon predating the endpoint degrades to the
+    alerts-only verdict silently.
     """
     out = out if out is not None else sys.stdout
     last_verdict: Optional[bool] = None
@@ -111,6 +140,17 @@ def run_watch(
             else:
                 reached = True
                 healthy, _firing, _pending = verdict(doc)
+                mismatches = 0
+                if check_shadow:
+                    try:
+                        mismatches = shadow_mismatches(
+                            fetch_quality(url, timeout=timeout)
+                        )
+                    except (urllib.error.URLError, OSError, ValueError):
+                        # /alerts answered but /quality did not: an
+                        # older daemon — judge it on alerts alone.
+                        mismatches = 0
+                healthy = healthy and not mismatches
                 transitions = doc.get("transitions", [])
                 if not once and last_verdict is not None:
                     for transition in transitions[last_seen_transitions:]:
@@ -121,7 +161,13 @@ def run_watch(
                         )
                 last_seen_transitions = len(transitions)
                 if once or healthy != last_verdict:
-                    out.write(verdict_line(doc) + "\n")
+                    line = verdict_line(doc)
+                    if mismatches:
+                        line = (
+                            f"UNHEALTHY — shadow verification: "
+                            f"{mismatches} mismatch(es); {line}"
+                        )
+                    out.write(line + "\n")
                 out.flush()
                 last_verdict = healthy
                 exit_code = EXIT_HEALTHY if healthy else EXIT_FIRING

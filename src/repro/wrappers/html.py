@@ -20,7 +20,7 @@ from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
 from ..html.dom import HtmlElement, Text
 from ..html.render import render_document
-from ..obs import record, span
+from ..obs import record, span, stamp_fingerprint
 from .base import ExportWrapper
 
 A = Symbol("a")
@@ -36,26 +36,34 @@ class HtmlExportWrapper(ExportWrapper[Dict[str, str]]):
 
     def from_store(self, store: DataStore) -> Dict[str, str]:
         pages: Dict[str, str] = {}
+        exported = []
         with span("wrapper.export", source="html", trees=len(store)):
             for name, node in store:
                 if not _is_page(node):
                     continue
                 pages[self.url_of(name)] = render_document(self.tree_to_element(node))
+                exported.append((name, node))
         if not pages:
             raise WrapperError("the store contains no html page trees")
         self._account(pages)
+        # The export side has no import forest: drift is watched on the
+        # page trees actually rendered.
+        stamp_fingerprint(exported, "html")
         return pages
 
     def export_result(self, result, functor: str = "HtmlPage") -> Dict[str, str]:
         """Export the pages a conversion produced for one Skolem functor."""
         pages: Dict[str, str] = {}
+        exported = []
         with span("wrapper.export", source="html", functor=functor):
             for identifier in result.ids_of(functor):
                 node = result.store.get(identifier)
                 pages[self.url_of(identifier)] = render_document(
                     self.tree_to_element(node)
                 )
+                exported.append((identifier, node))
         self._account(pages)
+        stamp_fingerprint(exported, "html")
         return pages
 
     @staticmethod

@@ -22,7 +22,7 @@ from typing import Any, Dict, Sequence, Union
 from ..core.labels import Symbol, is_atom
 from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
-from ..obs import record, span, stamp_inputs
+from ..obs import record, span, stamp_fingerprint, stamp_inputs
 from .base import ExportWrapper, ImportWrapper
 
 ARRAY = Symbol("array")
@@ -55,6 +55,7 @@ class JsonImportWrapper(ImportWrapper[str]):
         if text_bytes:
             record("wrapper.import.bytes", text_bytes, source="json")
         stamp_inputs(store, "json")
+        stamp_fingerprint(store, "json")
         return store
 
     def value_to_tree(self, value: Any) -> Tree:

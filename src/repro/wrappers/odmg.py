@@ -21,7 +21,7 @@ from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
 from ..objectdb.schema import ObjectSchema
 from ..objectdb.store import ObjectInstance, ObjectStore, Oid
-from ..obs import record, span, stamp_inputs
+from ..obs import record, span, stamp_fingerprint, stamp_inputs
 from ..objectdb.types import (
     AtomicType,
     CollectionType,
@@ -45,6 +45,7 @@ class OdmgImportWrapper(ImportWrapper[ObjectStore]):
                 store.add(instance.oid.value, self.object_to_tree(source, instance))
         record("wrapper.import.trees", len(store), source="odmg")
         stamp_inputs(store, "odmg")
+        stamp_fingerprint(store, "odmg")
         return store
 
     def object_to_tree(self, source: ObjectStore, instance: ObjectInstance) -> Tree:

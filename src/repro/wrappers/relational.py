@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..core.labels import Symbol, is_atom
 from ..core.trees import DataStore, Tree
 from ..errors import WrapperError
-from ..obs import record, span, stamp_inputs
+from ..obs import record, span, stamp_fingerprint, stamp_inputs
 from ..relational.database import Database
 from ..relational.schema import DatabaseSchema
 from ..relational.table import Table
@@ -39,6 +39,7 @@ class RelationalImportWrapper(ImportWrapper[Database]):
         record("wrapper.import.trees", len(store), source="relational")
         record("wrapper.import.rows", rows, source="relational")
         stamp_inputs(store, "relational")
+        stamp_fingerprint(store, "relational")
         return store
 
 

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Union
 from ..core.labels import Symbol
 from ..core.trees import DataStore, Ref, Tree
 from ..errors import WrapperError
-from ..obs import record, span, stamp_inputs
+from ..obs import record, span, stamp_fingerprint, stamp_inputs
 from ..sgml.document import Element
 from ..sgml.dtd import DTD
 from ..sgml.validator import validate
@@ -49,6 +49,7 @@ class SgmlImportWrapper(ImportWrapper[Sequence[Element]]):
                 store.add(f"d{index}", self.element_to_tree(document))
         record("wrapper.import.trees", len(store), source="sgml")
         stamp_inputs(store, "sgml")
+        stamp_fingerprint(store, "sgml")
         return store
 
     def element_to_tree(self, element: Element) -> Tree:

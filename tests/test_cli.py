@@ -154,6 +154,87 @@ class TestConvertEvents:
         with open(events) as handle:
             assert handle.read() == ""
 
+    def test_events_log_rotation(self, sgml_file, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main(
+            ["convert", "SgmlBrochuresToOdmg", sgml_file,
+             "--events", events, "--events-log-max-bytes", "256"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "rotation(s)" in err
+        assert os.path.exists(events + ".1")
+        for generation in (events, events + ".1"):
+            with open(generation) as handle:
+                for line in handle.read().splitlines():
+                    json.loads(line)  # whole lines only, both files
+
+
+class TestQuality:
+    def test_text_report(self, sgml_file, capsys):
+        assert main(["quality", "SgmlBrochuresToOdmg", sgml_file]) == 0
+        out = capsys.readouterr().out
+        assert "quality report — program SgmlBrochuresToOdmg" in out
+        assert "FIRED" in out and "Rule1" in out and "Rule2" in out
+        assert "3 converted, 0 unconverted" in out
+
+    def test_json_report(self, sgml_file, capsys):
+        assert main(
+            ["quality", "SgmlBrochuresToOdmg", sgml_file, "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["coverage"]["never-fired"] == []
+        assert doc["inputs"]["unconverted"] == 0
+
+    def test_strict_flags_unconverted(self, sgml_file, tmp_path, capsys):
+        stray = tmp_path / "stray.sgml"
+        stray.write_text("<memo><body>not a brochure</body></memo>")
+        assert main(
+            ["quality", "SgmlBrochuresToOdmg", sgml_file, str(stray),
+             "--strict"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 unconverted" in out
+        assert "unconverted roots: memo ×1" in out
+
+    def test_strict_passes_clean_run(self, sgml_file):
+        assert main(
+            ["quality", "SgmlBrochuresToOdmg", sgml_file, "--strict"]
+        ) == 0
+
+
+class TestDiff:
+    def test_identical_inputs(self, sgml_file, capsys):
+        assert main(
+            ["diff", "SgmlBrochuresToOdmg", sgml_file, sgml_file,
+             "--exit-code"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 added, 0 removed, 0 changed" in out
+
+    def test_differing_inputs_exit_code(self, sgml_file, tmp_path, capsys):
+        other = tmp_path / "other.sgml"
+        other.write_text(
+            "\n".join(
+                write_sgml(d)
+                for d in brochure_elements(5, distinct_suppliers=3)
+            )
+        )
+        assert main(
+            ["diff", "SgmlBrochuresToOdmg", sgml_file, str(other),
+             "--exit-code"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "+ " in out and "rule Rule" in out
+
+    def test_json_format(self, sgml_file, capsys):
+        assert main(
+            ["diff", "SgmlBrochuresToOdmg", sgml_file, sgml_file,
+             "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["added"] == 0
+        assert doc["summary"]["unchanged"] > 0
+
 
 class TestOverwriteGuard:
     def test_profile_refuses_to_overwrite(self, sgml_file, tmp_path, capsys):
