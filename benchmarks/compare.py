@@ -66,6 +66,12 @@ HEADLINES: Dict[str, List[Tuple[str, str, str, bool]]] = {
         ("sampler overhead %",
          "legs.indexed_sampler.overhead_pct", "lower", False),
     ],
+    "dispatch_arena": [
+        ("arena wall ms", "legs.arena.wall_ms", "lower", True),
+        ("arena speedup", "arena_speedup", "higher", False),
+        ("indexed wall ms", "legs.indexed.wall_ms", "lower", False),
+        ("arena encode ms", "legs.arena.encode_ms", "lower", False),
+    ],
     "parallel_executor": [
         ("in-process wall ms", "legs.inprocess.wall_ms", "lower", True),
     ],

@@ -43,7 +43,7 @@ KEY_METRICS = [
     "yatl.skolem.ids_fresh",
     "yatl.skolem.ids_reused",
     "yatl.demand.iterations",
-    "yatl.match.root_memo_hits",
+    "yatl.match.coverage_memo_hits",
 ]
 
 

@@ -29,7 +29,7 @@ class Symbol:
         False
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
     _interned: dict = {}
 
     def __new__(cls, name: str) -> "Symbol":
@@ -40,6 +40,7 @@ class Symbol:
             return existing
         sym = super().__new__(cls)
         object.__setattr__(sym, "name", name)
+        object.__setattr__(sym, "_hash", hash((Symbol, name)))
         cls._interned[name] = sym
         return sym
 
@@ -53,7 +54,7 @@ class Symbol:
         return self.name
 
     def __hash__(self) -> int:
-        return hash((Symbol, self.name))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return self is other

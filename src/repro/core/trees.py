@@ -77,6 +77,17 @@ class Tree:
         object.__setattr__(self, "children", kids)
         object.__setattr__(self, "_hash", hash((Tree, label, kids)))
 
+    @classmethod
+    def _make(cls, label: Label, children: Tuple[Child, ...] = ()) -> "Tree":
+        """Trusted constructor for hot paths: *children* must already be
+        a tuple of ``Tree``/``Ref`` nodes and *label* a valid label —
+        skips the validation ``__init__`` performs on foreign input."""
+        node = object.__new__(cls)
+        object.__setattr__(node, "label", label)
+        object.__setattr__(node, "children", children)
+        object.__setattr__(node, "_hash", hash((Tree, label, children)))
+        return node
+
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Tree is immutable")
 

@@ -55,6 +55,7 @@ import warnings as _warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .core.arena import ArenaShard, ArenaStore
 from .core.trees import DataStore, Ref, Tree
 from .errors import DanglingReferenceError
 from .obs import (
@@ -183,6 +184,7 @@ class ShardSpec:
         max_demand_iterations: int = 100_000,
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
+        use_arena: bool = True,
         program_name: Optional[str] = None,
     ) -> None:
         self.rules = list(rules)
@@ -195,6 +197,7 @@ class ShardSpec:
             list(target_functors) if target_functors is not None else None
         )
         self.use_dispatch_index = use_dispatch_index
+        self.use_arena = use_arena
         self.program_name = program_name
 
     def __getstate__(self):
@@ -229,6 +232,7 @@ class ShardSpec:
             max_demand_iterations=self.max_demand_iterations,
             target_functors=self.target_functors,
             use_dispatch_index=self.use_dispatch_index,
+            use_arena=self.use_arena,
             metrics=metrics,
             provenance=provenance,
             program_name=self.program_name,
@@ -313,7 +317,7 @@ _SPEC_CACHE: Dict[str, ShardSpec] = {}
 def _execute_shard(
     spec: ShardSpec,
     index: int,
-    items: List[Tuple[str, Tree]],
+    items,
     record_provenance: bool = False,
     sample_rate: float = 1.0,
     record_spans: bool = False,
@@ -323,14 +327,25 @@ def _execute_shard(
     """Run one chunk through a fresh interpreter and return a plain-data
     payload the parent merges. Runs identically in a pool worker and in
     the parent process (``workers=1``) — that equivalence *is* the
-    determinism contract."""
+    determinism contract.
+
+    ``items`` is either a list of ``(name, tree)`` pairs or an
+    :class:`~repro.core.arena.ArenaShard`, whose columns crossed the
+    process boundary as flat buffers and are rebuilt here without a
+    per-tree pickle walk.
+    """
     started = time.perf_counter()
     metrics = MetricsRegistry()
     prov = ProvenanceStore(sample_rate=sample_rate) if record_provenance else None
     interpreter = spec.build_interpreter(metrics=metrics, provenance=prov)
-    store = DataStore()
-    for name, node in items:
-        store.add(name, node)
+    if isinstance(items, ArenaShard):
+        store = items.to_store()
+        n_inputs = len(store)
+    else:
+        store = DataStore()
+        for name, node in items:
+            store.add(name, node)
+        n_inputs = len(items)
     # Per-shard profiling: a worker process runs its own sampler and
     # ships the aggregated stacks home. The ambient guard keeps the
     # serial fallback from double-counting — in-process shards are
@@ -357,14 +372,29 @@ def _execute_shard(
     finally:
         profile = sampler.stop().to_json() if sampler is not None else None
     unconverted_ids = {id(node) for node in result.unconverted}
+    if not unconverted_ids:
+        unconverted_names: List[str] = []
+    elif isinstance(store, ArenaStore):
+        # Map through the root index instead of iterating the store:
+        # iteration would materialize every root just to name a few.
+        unconverted_names = [
+            store.name_at(i)
+            for i in sorted(
+                i for i in (
+                    store.index_of_tree(node) for node in result.unconverted
+                ) if i is not None
+            )
+        ]
+    else:
+        unconverted_names = [
+            name for name, node in store if id(node) in unconverted_ids
+        ]
     return {
         "index": index,
-        "n_inputs": len(items),
+        "n_inputs": n_inputs,
         "outputs": [(name, node) for name, node in result.store],
         "log": result.skolems.allocation_log(),
-        "unconverted": [
-            name for name, node in store if id(node) in unconverted_ids
-        ],
+        "unconverted": unconverted_names,
         "warnings": list(result.warnings),
         "metrics": metrics.snapshot(),
         "provenance": result.provenance.to_json(),
@@ -420,11 +450,16 @@ def run_sharded(
         registry = MetricsRegistry()
     prov = provenance if provenance is not None else ambient_provenance()
 
-    items = list(store)
+    arena = isinstance(store, ArenaStore)
+    # list(store) on an ArenaStore would materialize every root before
+    # any shard runs; the arena path plans over root *indices* and
+    # slices flat columns instead.
+    items = None if arena else list(store)
+    n_items = len(store) if arena else len(items)
     if chunk_count is not None:
-        chunks = plan_chunks_by_count(len(items), chunk_count)
+        chunks = plan_chunks_by_count(n_items, chunk_count)
     else:
-        chunks = plan_chunks(len(items), resolve_chunk_size(len(items), chunk_size))
+        chunks = plan_chunks(n_items, resolve_chunk_size(n_items, chunk_size))
 
     effective_workers = executor.workers if executor is not None else workers
 
@@ -444,7 +479,12 @@ def run_sharded(
         }
         return result
 
-    shard_items = [items[start:stop] for start, stop in chunks]
+    if arena:
+        shard_items = [
+            ArenaShard.slice(store, start, stop) for start, stop in chunks
+        ]
+    else:
+        shard_items = [items[start:stop] for start, stop in chunks]
     recorder = ambient_recorder()
     profiler = ambient_profiler()
     opts = {
@@ -484,7 +524,7 @@ def _is_pickling_error(exc: BaseException) -> bool:
 
 def _run_shards(
     spec: ShardSpec,
-    shard_items: List[List[Tuple[str, Tree]]],
+    shard_items: List,  # per shard: [(name, tree), ...] or an ArenaShard
     workers: int,
     executor: Optional[ParallelExecutor],
     opts: Dict[str, object],
@@ -621,7 +661,11 @@ def _merge(
         merge_warnings.append(message)
 
     wanted = set(unconverted_names)
-    unconverted = [node for name, node in input_store if name in wanted]
+    # The empty-wanted guard keeps an ArenaStore input from being fully
+    # materialized just to find zero unconverted trees.
+    unconverted = (
+        [node for name, node in input_store if name in wanted] if wanted else []
+    )
 
     # -- observability aggregation ------------------------------------------
     for payload in payloads:
@@ -728,7 +772,9 @@ def shard_result(
         output.add(identifier, node)
 
     wanted = set(payload["unconverted"])
-    unconverted = [node for name, node in input_store if name in wanted]
+    unconverted = (
+        [node for name, node in input_store if name in wanted] if wanted else []
+    )
 
     merge_snapshot(registry, payload["metrics"])
 

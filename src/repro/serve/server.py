@@ -613,10 +613,12 @@ class MediatorServer:
         The re-conversion runs straight through :meth:`_execute` —
         bypassing the cache and admission control, with no ambient
         collectors on this thread, so the verification neither counts
-        toward request metrics nor re-stamps wrapper fingerprints."""
-        self.registry.counter(
-            "serve.shadow.checked", "shadow verifications executed"
-        ).inc(program=program_name)
+        toward request metrics nor re-stamps wrapper fingerprints.
+
+        ``serve.shadow.checked`` is bumped *last*, after the ok/mismatch
+        verdict is recorded: pollers (``repro watch``, tests) treat
+        ``checked`` as "verdicts available", so it must never run ahead
+        of the verdict counters while the re-conversion is in flight."""
         live_status, live_payload, _counts = self._execute(
             program_name, body, to, include_output, 0.0
         )
@@ -625,6 +627,9 @@ class MediatorServer:
         if live_status == cached_status and live_core == cached_core:
             self.registry.counter(
                 "serve.shadow.ok", "shadow verifications matching the cache"
+            ).inc(program=program_name)
+            self.registry.counter(
+                "serve.shadow.checked", "shadow verifications executed"
             ).inc(program=program_name)
             return
         self.registry.counter(
@@ -647,6 +652,9 @@ class MediatorServer:
         with self._shadow_lock:
             self._shadow_mismatches.append(detail)
         self.events.emit("shadow.mismatch", **detail)
+        self.registry.counter(
+            "serve.shadow.checked", "shadow verifications executed"
+        ).inc(program=program_name)
 
     def quality_payload(self) -> Dict[str, object]:
         """The ``GET /quality`` document: shadow-verification health

@@ -22,6 +22,7 @@ import time
 import warnings as _warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..core.arena import ArenaStore
 from ..core.trees import DataStore, Ref, Tree
 from ..errors import (
     CyclicProgramError,
@@ -32,6 +33,7 @@ from ..errors import (
 from ..obs import MetricsRegistry, ambient_registry, span
 from ..obs.metrics import TIME_BUCKETS
 from ..obs.provenance import ProvenanceStore, ambient_provenance
+from .arena_exec import ArenaEngine
 from .ast import Expr, FunctionCall, Rule
 from .bindings import Binding, Value
 from .construction import (
@@ -76,7 +78,6 @@ M_DISPATCH_REDUCTION = "yatl.dispatch.candidate_reduction_ratio"
 M_SKOLEM_FRESH = "yatl.skolem.ids_fresh"
 M_SKOLEM_REUSED = "yatl.skolem.ids_reused"
 M_SKOLEM_SIZE = "yatl.skolem.table_size"
-M_MATCH_ROOT_MEMO_HITS = "yatl.match.root_memo_hits"
 M_MATCH_COVERAGE_MEMO_HITS = "yatl.match.coverage_memo_hits"
 M_PROVENANCE_FIRINGS = "yatl.provenance.firings"
 M_PROVENANCE_RECORDS = "yatl.provenance.records"
@@ -181,6 +182,15 @@ class Interpreter:
         root-signature dispatch index (see :mod:`.dispatch`). On by
         default; disable to measure the unindexed O(rules × inputs)
         behaviour (the benchmark's ``--no-index`` ablation).
+    use_arena:
+        Evaluate :class:`~repro.core.arena.ArenaStore` inputs on the
+        columnar batch path (see :mod:`.arena_exec`): compilable rules
+        run as flat column comparisons, the rest fall back to the tree
+        matcher over lazily materialized candidates. Outputs are
+        byte-identical either way. Disable (the benchmark's
+        ``--no-arena`` ablation) to convert arena inputs to a
+        :class:`~repro.core.trees.DataStore` up front and run the plain
+        tree path. Irrelevant for non-arena inputs.
     workers:
         Evaluate the top-level input forest with the multi-process
         executor of :mod:`repro.parallel`: the inputs are split into
@@ -236,6 +246,7 @@ class Interpreter:
         max_demand_iterations: int = 100_000,
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
+        use_arena: bool = True,
         parallel_safe_batches: Optional[int] = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
@@ -255,6 +266,7 @@ class Interpreter:
         self.provenance = provenance
         self.program_name = program_name
         self.dispatch = self.hierarchy.dispatch_index() if use_dispatch_index else None
+        self.use_arena = use_arena
         if parallel_safe_batches is not None and parallel_safe_batches < 1:
             raise ValueError("parallel_safe_batches must be >= 1")
         if parallel_safe_batches is not None:
@@ -311,7 +323,7 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
-        store = _as_store(data)
+        store = _as_store(data, self.use_arena)
         workers = self.workers
         chunk_count = None
         if workers is None and self.executor is not None:
@@ -341,9 +353,9 @@ class Interpreter:
     def run_local(self, data: Union[DataStore, Sequence[Tree], Tree]) -> ConversionResult:
         """One plain single-process pass (no sharding) — the execution
         primitive :mod:`repro.parallel` runs once per chunk."""
-        store = _as_store(data)
+        store = _as_store(data, self.use_arena)
         state = _RunState(self, store)
-        with span("yatl.run", rules=len(self.rules), inputs=len(state.inputs)):
+        with span("yatl.run", rules=len(self.rules), inputs=state.n_inputs):
             state.metrics.counter(M_BATCHES).inc(1)
             state.apply_top_level()
             state.apply_fallbacks()
@@ -364,6 +376,7 @@ class Interpreter:
             max_demand_iterations=self.max_demand_iterations,
             target_functors=self.target_functors,
             use_dispatch_index=self.dispatch is not None,
+            use_arena=self.use_arena,
             program_name=self.program_name,
         )
 
@@ -467,7 +480,17 @@ class _RunState:
     def __init__(self, interpreter: Interpreter, store: DataStore) -> None:
         self.interp = interpreter
         self.input_store = store
-        self.inputs = store.trees()
+        # Arena inputs stay columnar: roots are matched by index and
+        # decoded lazily, so `inputs` holds only what got materialized
+        # (see ArenaEngine); everything downstream sizes itself off
+        # `n_inputs` and fetches leftovers via `_leftover_inputs`.
+        self.arena_engine: Optional[ArenaEngine] = None
+        if isinstance(store, ArenaStore):
+            self.arena_engine = ArenaEngine(self, store)
+            self.inputs: List[Tree] = []
+        else:
+            self.inputs = store.trees()
+        self.n_inputs = len(store)
         self.skolems = SkolemTable()
         self.warnings: List[str] = []
         # One registry per run unless the interpreter (or an ambient
@@ -513,10 +536,19 @@ class _RunState:
         # was derived from. Demand-driven outputs inherit the origins of
         # the output whose construction demanded them.
         self.provenance: Dict[str, Set[str]] = {}
-        self._input_names: Dict[int, str] = {
-            id(node): name for name, node in store
-        }
+        # For arena inputs the map is filled at materialization time
+        # (iterating the store here would decode every root eagerly).
+        self._input_names: Dict[int, str] = (
+            {}
+            if self.arena_engine is not None
+            else {id(node): name for name, node in store}
+        )
         self._active_origins: Set[str] = set()
+        # Identifiers whose associated value is known reference-free
+        # (the arena fast path never builds reference leaves — the
+        # compiler rejects them): finish() skips their splice and
+        # dangling-reference walks.
+        self.ref_free_ids: Set[str] = set()
         # Detailed per-firing recorder: explicit or ambient, usually
         # None. Resolved once per run; when None the construct path pays
         # exactly one extra `is not None` check per output group.
@@ -545,6 +577,9 @@ class _RunState:
         whole input set by default), with hierarchy shadowing per root
         input tree. Fallback rules run afterwards, once, over the whole
         run's leftovers — see :meth:`apply_fallbacks`."""
+        if inputs is None and self.arena_engine is not None:
+            self._apply_top_level_arena()
+            return
         if inputs is None:
             inputs = self.inputs
         needed = self.interp.needed_functors
@@ -555,11 +590,28 @@ class _RunState:
                 continue  # targeted evaluation: this output is not queried
             self._apply_rule_with_shadowing(rule, inputs)
 
+    def _apply_top_level_arena(self) -> None:
+        """Top-level application over an arena: compilable rules run
+        entirely on the columns (:meth:`ArenaEngine.apply_rule`); the
+        rest run the existing tree path over candidates the engine
+        prefilters — and lazily materializes — from the label/arity
+        columns."""
+        engine = self.arena_engine
+        needed = self.interp.needed_functors
+        for rule in self.order:
+            if rule.is_fallback:
+                continue
+            if needed is not None and rule.head_functor not in needed:
+                continue  # targeted evaluation: this output is not queried
+            if engine.apply_rule(rule):
+                continue
+            self._apply_rule_with_shadowing(rule, engine.slow_candidates(rule))
+
     def apply_fallbacks(self) -> None:
         """Fallback (empty-head) rules over the inputs no other rule
         converted, recording what they match; with ``runtime_typing``,
         raise for inputs that not even a fallback rule matched."""
-        leftovers = [t for t in self.inputs if not self._converted(t)]
+        leftovers = self._leftover_inputs()
         if not leftovers:
             return
         for rule in self.order:
@@ -590,6 +642,12 @@ class _RunState:
 
     def _converted(self, node: Tree) -> bool:
         return id(node) in self.matched_inputs or node in self.matched_values
+
+    def _leftover_inputs(self) -> List[Tree]:
+        """The inputs no rule converted so far, in store order."""
+        if self.arena_engine is not None:
+            return self.arena_engine.unconverted_inputs()
+        return [t for t in self.inputs if not self._converted(t)]
 
     def _candidates(self, rule: Rule, inputs: List[Tree]) -> Sequence[Tree]:
         """The inputs *rule* could match, per the dispatch index (all of
@@ -824,6 +882,11 @@ class _RunState:
                     f"no value was associated to {identifier!r} "
                     f"({_term_text(self.skolems, identifier)})"
                 )
+            if identifier in self.ref_free_ids:
+                # Reference-free by construction: splicing would walk
+                # the tree only to return it unchanged.
+                resolved[identifier] = raw
+                return raw
             in_progress.add(identifier)
             try:
                 spliced = splice(raw)
@@ -849,14 +912,24 @@ class _RunState:
                     output.add(identifier, value_of(identifier, False))
                 except DanglingReferenceError:
                     raise
-        # Dangling plain references.
-        dangling = sorted(set(output.dangling_references()))
+        # Dangling plain references (known reference-free outputs skip
+        # the walk; mirrors DataStore.dangling_references exactly).
+        ref_free = self.ref_free_ids
+        dangling = sorted(
+            {
+                ref.target
+                for name, node in output
+                if name not in ref_free
+                for ref in node.references()
+                if ref.target not in output
+            }
+        )
         if dangling:
             message = f"dangling reference(s) in output: {', '.join(dangling)}"
             if self.interp.strict_refs:
                 raise DanglingReferenceError(message)
             self.warnings.append(message)
-        unconverted = [t for t in self.inputs if not self._converted(t)]
+        unconverted = self._leftover_inputs()
         # The name-level origins live in the run's ProvenanceStore
         # (explicit/ambient when installed, a fresh result-local one
         # otherwise) so result.lineage() reads one source of truth and
@@ -875,8 +948,8 @@ class _RunState:
         """Flush the hot-path accumulators (dispatch stats, memo hit
         counts, Skolem stats) into the registry, once per run."""
         m = self.metrics
-        m.counter(M_INPUT_TREES).inc(len(self.inputs))
-        m.counter(M_INPUT_CONVERTED).inc(len(self.inputs) - len(unconverted))
+        m.counter(M_INPUT_TREES).inc(self.n_inputs)
+        m.counter(M_INPUT_CONVERTED).inc(self.n_inputs - len(unconverted))
         m.counter(M_INPUT_UNCONVERTED).inc(len(unconverted))
         m.counter(M_OUTPUT_TREES).inc(len(output))
         m.counter(M_WARNINGS).inc(len(self.warnings))
@@ -900,7 +973,6 @@ class _RunState:
         m.counter(M_SKOLEM_FRESH).inc(self.skolems.fresh_ids)
         m.counter(M_SKOLEM_REUSED).inc(self.skolems.reused_ids)
         m.gauge(M_SKOLEM_SIZE).set(len(self.skolems))
-        m.counter(M_MATCH_ROOT_MEMO_HITS).inc(self.match_ctx.root_memo_hits)
         m.counter(M_MATCH_COVERAGE_MEMO_HITS).inc(self.match_ctx.coverage_memo_hits)
         if self.prov_firings:
             m.counter(M_PROVENANCE_FIRINGS).inc(self.prov_firings)
@@ -915,7 +987,14 @@ class _RunState:
 _MISSING = object()
 
 
-def _as_store(data: Union[DataStore, Sequence[Tree], Tree]) -> DataStore:
+def _as_store(
+    data: Union[DataStore, Sequence[Tree], Tree], use_arena: bool = True
+) -> DataStore:
+    if isinstance(data, ArenaStore):
+        # The ForestView seam: an arena input engages the batch path
+        # unless the ablation flag turns it off, in which case it is
+        # materialized up front and runs the plain tree path.
+        return data if use_arena else data.to_data_store()
     if isinstance(data, DataStore):
         return data
     if isinstance(data, Tree):

@@ -53,27 +53,19 @@ class MatchContext:
         # Used when a collection child conflicts with bound join
         # variables and only shape matters (see match_edges).
         self._coverage: Dict[Tuple[int, Union[Tree, Ref]], bool] = {}
-        # Memoized *root* match failures: (root pattern id, subject).
-        # A root body pattern matched under an empty environment is a
-        # pure function of (pattern, subject, store, model) — all fixed
-        # for this context — so a rejected subject is never re-matched,
-        # neither by the demand loop nor for structurally-equal trees.
-        self._root_failures: set = set()
-        # Memo-effectiveness accounting. Plain ints: these probes run
-        # per (pattern, subject) pair — the hottest loop in the whole
-        # runtime — so the interpreter flushes them into the run's
-        # MetricsRegistry once, at the end.
-        self.root_memo_hits = 0
+        # Memo-effectiveness accounting. A plain int: the probe runs
+        # per (pattern, subject) pair, so the interpreter flushes it
+        # into the run's MetricsRegistry once, at the end.
+        #
+        # There used to be a second memo here, over *root* match
+        # failures. With the dispatch index on, candidates are
+        # label-filtered before they reach the matcher, so the memo
+        # never fired (BENCH_PR7: root_memo_hits stayed 0 with a 1.0
+        # dispatch hit ratio) while every root rejection still paid a
+        # set insert keyed by a full subject hash. It was removed
+        # rather than made index-aware; tests/yatl/test_dispatch.py
+        # pins the removal.
         self.coverage_memo_hits = 0
-
-    def known_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> bool:
-        if (id(pattern), subject) in self._root_failures:
-            self.root_memo_hits += 1
-            return True
-        return False
-
-    def record_root_failure(self, pattern: object, subject: Union[Tree, Ref]) -> None:
-        self._root_failures.add((id(pattern), subject))
 
     def instance_check(self, node: Union[Tree, Ref], pattern_name: str) -> bool:
         """Check *node* against a named model pattern; unresolvable
@@ -305,13 +297,8 @@ def _apply_body_pattern(
             candidates = list(input_trees)
         else:
             continue  # dependent pattern with an unbound name: no match
-        # Under an *empty* environment the match outcome depends only on
-        # (pattern, candidate), so failures are memoizable.
-        memoizable = not len(env)
         for candidate in candidates:
             if not isinstance(candidate, (Tree, Ref)):
-                continue
-            if memoizable and ctx.known_root_failure(bp.tree, candidate):
                 continue
             named = env.bind(bp.name, candidate)
             if named is None:
@@ -325,7 +312,5 @@ def _apply_body_pattern(
                     renamed = env.bind(bp.name, resolved)
                     if renamed is not None:
                         matches = match_child(bp.tree, resolved, renamed, ctx)
-            if not matches and memoizable:
-                ctx.record_root_failure(bp.tree, candidate)
             extended.extend(matches)
     return extended

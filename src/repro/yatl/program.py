@@ -130,6 +130,7 @@ class Program:
         validate: bool = True,
         target_functors: Optional[Sequence[str]] = None,
         use_dispatch_index: bool = True,
+        use_arena: bool = True,
         parallel_safe_batches: Optional[int] = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
@@ -146,6 +147,10 @@ class Program:
         querying the target without materializing all of it.
         ``use_dispatch_index`` (default) pre-filters rule candidates by
         root signature; disable it for ablation measurements.
+        ``use_arena`` (default) evaluates
+        :class:`~repro.core.arena.ArenaStore` inputs on the columnar
+        batch path; disable it (the ``--no-arena`` ablation) to
+        materialize the arena up front and run the tree path.
         ``workers``/``chunk_size``/``executor`` evaluate the top-level
         forest with the multi-process executor of :mod:`repro.parallel`
         (``workers=N`` output is byte-identical to ``workers=1``; see
@@ -167,6 +172,7 @@ class Program:
             strict_refs=strict_refs,
             target_functors=target_functors,
             use_dispatch_index=use_dispatch_index,
+            use_arena=use_arena,
             parallel_safe_batches=parallel_safe_batches,
             workers=workers,
             chunk_size=chunk_size,

@@ -144,14 +144,25 @@ class TestCandidateFiltering:
         subjects = [tree("whatever", atom(1))]
         assert index.candidates(rule3_program.rule("Rule3"), subjects) is subjects
 
-    def test_match_failures_memoized(self, brochures_program, brochure_b1):
+    def test_root_failure_memo_removed(self, brochures_program, brochure_b1):
+        # Regression pin for the PR10 decision: the root-failure memo
+        # never fired once the dispatch index prefiltered candidates by
+        # label (BENCH_PR7 measured root_memo_hits == 0 at a 1.0
+        # dispatch hit ratio), so it was *removed* — MatchContext must
+        # not grow the bookkeeping back, and repeated matching of a
+        # rejected subject must still behave identically without it.
         ctx = MatchContext()
         rule2 = brochures_program.rule("Rule2")
         stray = tree("pricelist", atom(1))
-        match_body(rule2, [stray, brochure_b1], ctx)
-        root = rule2.root_body_patterns()[0].tree
-        assert ctx.known_root_failure(root, stray)
-        assert not ctx.known_root_failure(root, brochure_b1)
+        first = match_body(rule2, [stray, brochure_b1], ctx)
+        second = match_body(rule2, [stray, brochure_b1], ctx)
+        assert len(first) == len(second) == len(match_body(rule2, [brochure_b1], ctx))
+        assert not hasattr(ctx, "known_root_failure")
+        assert not hasattr(ctx, "record_root_failure")
+        assert not hasattr(ctx, "root_memo_hits")
+        # The coverage memo (still load-bearing for collection edges)
+        # stays.
+        assert ctx.coverage_memo_hits == 0
 
 
 # ---------------------------------------------------------------------------
